@@ -1,0 +1,12 @@
+"""Shared configuration for the benchmark harness.
+
+Every file in this directory regenerates one row of DESIGN.md §4 (one paper
+figure/example/proposition or one additional analysis) under
+``pytest-benchmark`` timing.  Run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark asserts the qualitative *shape* of the reproduced result (who
+wins, what is bounded by what) in addition to timing the regeneration, so a
+benchmark run doubles as a reproduction check.
+"""

@@ -1,0 +1,18 @@
+"""Benchmark: attestation-based configuration discovery (Section III-B)."""
+
+from __future__ import annotations
+
+from repro.experiments.attestation_coverage import run_attestation_coverage
+
+
+def test_attestation_coverage_sweep(benchmark):
+    result = benchmark(
+        run_attestation_coverage,
+        population_size=300,
+        fractions=(0.1, 0.25, 0.5, 0.75, 1.0),
+    )
+    rows = result.rows
+    unknown = [row.unknown_power_fraction for row in rows]
+    assert unknown == sorted(unknown, reverse=True)
+    # Full coverage recovers the ground-truth census exactly.
+    assert abs(rows[-1].attested_census_entropy_bits - rows[-1].true_entropy_bits) < 1e-9

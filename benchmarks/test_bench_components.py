@@ -1,0 +1,12 @@
+"""Benchmark: component-level exposure decomposition."""
+
+from __future__ import annotations
+
+from repro.experiments.component_exposure import run_component_exposure
+
+
+def test_component_exposure_decomposition(benchmark):
+    result = benchmark(run_component_exposure, population_size=400)
+    assert result.skewed_has_critical_slot
+    skewed = [entry for entry in result.ecosystems if "skewed" in entry.label][0]
+    assert skewed.weakest_share > 0.5

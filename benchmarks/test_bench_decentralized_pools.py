@@ -1,0 +1,15 @@
+"""Benchmark: decentralized pools / non-outsourceable mining sweep."""
+
+from __future__ import annotations
+
+from repro.experiments.decentralized_pools import run_decentralized_pools
+
+
+def test_decentralized_pools_sweep(benchmark):
+    result = benchmark(run_decentralized_pools, members_per_pool=20)
+    assert result.entropy_is_monotone
+    first, last = result.rows[0], result.rows[-1]
+    assert first.entropy_bits < 3.0  # the Figure 1 baseline
+    assert last.entropy_bits > first.entropy_bits
+    assert last.coalition_takeover < first.coalition_takeover
+    assert 0 <= result.breaks_majority_at <= 17

@@ -1,0 +1,13 @@
+"""Benchmark: diversity-management ablation (planner vs baselines)."""
+
+from __future__ import annotations
+
+from repro.experiments.diversity_ablation import run_diversity_ablation
+
+
+def test_diversity_ablation(benchmark):
+    result = benchmark(run_diversity_ablation, replica_count=60, trials=800)
+    assert result.planner_beats_baselines
+    by_strategy = {row.strategy: row for row in result.rows}
+    assert by_strategy["monoculture (most popular)"].single_fault_violates_bft
+    assert not by_strategy["planner (entropy-maximizing)"].single_fault_violates_bft

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Example 1 (Bitcoin vs 8-replica BFT comparison)."""
+
+from __future__ import annotations
+
+from repro.experiments.example1 import run_example1
+
+
+def test_example1_comparison(benchmark):
+    result = benchmark(run_example1, max_residual_miners=1000)
+    assert result.bitcoin_below_bft8
+    assert result.bft8_entropy_bits == 3.0
+    assert result.bitcoin_best_entropy_bits < 3.0
+    assert result.effective_configurations < 8.0

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 1 (best-case entropy of Bitcoin diversity)."""
+
+from __future__ import annotations
+
+from repro.experiments.figure1 import BFT_8_REPLICA_ENTROPY_BITS, run_figure1
+
+
+def test_figure1_full_sweep(benchmark):
+    """The full paper sweep: residual miners x = 1..1000."""
+    result = benchmark(run_figure1, max_residual_miners=1000)
+    assert result.always_below_bft8
+    assert result.max_entropy_bits < BFT_8_REPLICA_ENTROPY_BITS
+    assert len(result.points) == 1000
+
+
+def test_figure1_entropy_series_is_monotone(benchmark):
+    """The series rises with x but saturates below the 3-bit BFT reference."""
+    result = benchmark(run_figure1, max_residual_miners=250)
+    entropies = [point.entropy_bits for point in result.points]
+    assert entropies == sorted(entropies)
+    assert entropies[-1] - entropies[0] < 0.2  # saturation, not growth

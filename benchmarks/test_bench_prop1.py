@@ -1,0 +1,11 @@
+"""Benchmark: Proposition 1 sweep (abundance increases vs entropy)."""
+
+from __future__ import annotations
+
+from repro.experiments.prop1 import run_proposition1
+
+
+def test_proposition1_sweep(benchmark):
+    sweep = benchmark(run_proposition1, kappas=(2, 4, 8, 16, 32, 64, 128))
+    assert sweep.holds
+    assert len(sweep.cases) == 21

@@ -1,0 +1,12 @@
+"""Benchmark: Proposition 2 growth comparison (oligopoly vs uniform)."""
+
+from __future__ import annotations
+
+from repro.experiments.prop2 import run_proposition2
+
+
+def test_proposition2_growth(benchmark):
+    sweep = benchmark(run_proposition2, sizes=(18, 67, 117, 517, 1017, 2017))
+    assert sweep.holds
+    assert sweep.oligopoly_entropy_ceiling < 3.0
+    assert sweep.uniform_final_entropy > 10.0

@@ -1,0 +1,19 @@
+"""Benchmark: Proposition 3 abundance/resilience/overhead trade-off."""
+
+from __future__ import annotations
+
+from repro.experiments.prop3 import run_proposition3
+
+
+def test_proposition3_abundance_sweep(benchmark):
+    sweep = benchmark(
+        run_proposition3,
+        kappa=16,
+        abundances=(1, 2, 4, 8, 16, 32, 64, 128),
+        colluding_operators=3,
+    )
+    assert sweep.holds
+    first, last = sweep.quadratic_results[0], sweep.quadratic_results[-1]
+    assert last.max_rational_takeover < first.max_rational_takeover
+    assert last.message_complexity > first.message_complexity
+    assert last.max_exploit_takeover == first.max_exploit_takeover

@@ -1,0 +1,20 @@
+"""Benchmark: Monte-Carlo safety-violation probability vs census entropy."""
+
+from __future__ import annotations
+
+from repro.experiments.safety_violation import run_safety_violation
+
+
+def test_safety_violation_sweep(benchmark):
+    result = benchmark(run_safety_violation, trials=1000)
+    assert result.monotone_decreasing
+    assert result.rows[0].violation_probability_bft >= result.rows[-1].violation_probability_bft
+    assert result.rows[-1].violation_probability_bft == 0.0
+
+
+def test_safety_violation_with_larger_exploit_budget(benchmark):
+    result = benchmark(run_safety_violation, trials=600, exploit_budget=3)
+    # More simultaneous exploits raise risk everywhere, but high-entropy
+    # censuses still dominate low-entropy ones.
+    first, last = result.rows[0], result.rows[-1]
+    assert first.violation_probability_bft >= last.violation_probability_bft

@@ -1,0 +1,19 @@
+"""Benchmark: the paper's concluding two-class voting-weight proposal."""
+
+from __future__ import annotations
+
+from repro.experiments.two_class import run_two_class
+
+
+def test_two_class_weight_sweep(benchmark):
+    result = benchmark(
+        run_two_class,
+        population_size=300,
+        weight_ratios=(1.0, 2.0, 4.0, 8.0, 16.0),
+        trials=800,
+    )
+    assert result.improves_with_weight
+    assert (
+        result.rows[-1].violation_probability <= result.rows[0].violation_probability
+    )
+    assert result.rows[-1].census_entropy_bits > result.rows[0].census_entropy_bits

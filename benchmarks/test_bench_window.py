@@ -1,0 +1,14 @@
+"""Benchmark: vulnerability windows (patch rollout vs proactive recovery)."""
+
+from __future__ import annotations
+
+from repro.experiments.vulnerability_window import run_vulnerability_window
+
+
+def test_vulnerability_window_sweeps(benchmark):
+    result = benchmark(run_vulnerability_window, population_size=60)
+    assert result.patching_faster_is_better
+    assert result.recovery_faster_is_better
+    patch_rows = [row for row in result.rows if row.mechanism == "patch rollout"]
+    # The slowest rollout spends the longest time above the BFT tolerance.
+    assert patch_rows[0].time_above_tolerance >= patch_rows[-1].time_above_tolerance

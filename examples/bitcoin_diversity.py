@@ -1,0 +1,94 @@
+"""Bitcoin mining-pool diversity: the paper's Example 1 / Figure 1 workload.
+
+Reproduces the paper's headline analysis on the 02-Feb-2023 pool snapshot:
+
+- the best-case entropy of the Bitcoin mining-power distribution as the
+  residual 0.87% of hash power is spread over more and more miners;
+- the comparison against an 8-replica BFT system with unique configurations;
+- what a single compromised pool-software stack would mean for the
+  honest-majority assumption (majority takeover + double-spend probability).
+
+Run with::
+
+    python examples/bitcoin_diversity.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table
+from repro.datasets.bitcoin_pools import (
+    BITCOIN_POOL_SHARES_FEB_2023,
+    bitcoin_pool_distribution,
+    figure1_distribution,
+)
+from repro.experiments.example1 import run_example1
+from repro.experiments.figure1 import run_figure1
+from repro.nakamoto.attack import majority_takeover
+from repro.nakamoto.miner import Miner
+from repro.nakamoto.simulation import MiningSimulation
+
+
+def print_pool_snapshot() -> None:
+    table = Table(headers=("pool", "hash power (%)"), float_digits=3)
+    for name, share in BITCOIN_POOL_SHARES_FEB_2023:
+        table.add_row(name, share)
+    print("== 02 Feb 2023 mining-pool snapshot (Example 1) ==")
+    print(table.render())
+    print()
+    distribution = bitcoin_pool_distribution()
+    print(f"pool-only entropy: {distribution.entropy():.4f} bits "
+          f"(effective pools: {distribution.effective_configurations():.2f})")
+    print()
+
+
+def print_figure1() -> None:
+    result = run_figure1(max_residual_miners=1000)
+    table = Table(headers=("residual miners (x)", "entropy (bits)"))
+    for x in (1, 10, 50, 101, 250, 500, 1000):
+        table.add_row(x, result.entropy_at(x))
+    print("== Figure 1: best-case entropy vs residual miner count ==")
+    print(table.render())
+    print(f"maximum over the sweep: {result.max_entropy_bits:.4f} bits "
+          f"(8-replica BFT reference: 3.0000 bits)")
+    print()
+
+
+def print_example1() -> None:
+    result = run_example1()
+    print("== Example 1 verdict ==")
+    print(f"Bitcoin best-case entropy  : {result.bitcoin_best_entropy_bits:.4f} bits")
+    print(f"8-replica BFT entropy      : {result.bft8_entropy_bits:.4f} bits")
+    print(f"Bitcoin below the BFT line : {result.bitcoin_below_bft8}")
+    print()
+
+
+def print_shared_pool_software_attack() -> None:
+    # Suppose the top three pools run the same coordination software and a
+    # zero-day appears in it: the attacker inherits their combined hash power.
+    distribution = figure1_distribution(100)
+    power = {key: share * 100 for key, share in distribution.shares().items()}
+    compromised = ["foundry-usa", "antpool", "f2pool"]
+    takeover = majority_takeover(power, compromised)
+    print("== shared pool-software compromise (top 3 pools) ==")
+    print(f"compromised hash power : {takeover.compromised_fraction:.1%}")
+    print(f"honest-majority broken : {takeover.majority}")
+    print(f"P[double spend, 6 conf]: {takeover.double_spend_probability:.4f}")
+
+    miners = [Miner(name, value) for name, value in power.items()]
+    simulation = MiningSimulation(miners, seed=7)
+    result = simulation.run_double_spend(compromised, confirmations=6)
+    print(f"simulated attack        : "
+          f"{'succeeded' if result.attack_succeeded else 'failed'} "
+          f"after {result.total_blocks} blocks "
+          f"({result.reverted_blocks} confirmations reverted)")
+
+
+def main() -> None:
+    print_pool_snapshot()
+    print_figure1()
+    print_example1()
+    print_shared_pool_software_attack()
+
+
+if __name__ == "__main__":
+    main()

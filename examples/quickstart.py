@@ -1,0 +1,92 @@
+"""Quickstart: measure replica diversity and check the safety condition.
+
+This walks the core loop of the library in a few dozen lines:
+
+1. describe a replica population (who runs what, with how much voting power);
+2. quantify its diversity with Shannon entropy and the other indices;
+3. check Definition 1 (κ-optimal fault independence);
+4. ask the Section II-C question: does any single shared vulnerability hand an
+   attacker more voting power than the protocol tolerates?
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration import ReplicaConfiguration
+from repro.core.optimality import is_kappa_optimal, optimality_gap
+from repro.core.population import Replica, ReplicaPopulation
+from repro.core.resilience import ProtocolFamily
+from repro.faults.campaign import ExploitCampaign, single_vulnerability_breakdown
+from repro.faults.catalog import VulnerabilityCatalog
+
+
+def build_population() -> ReplicaPopulation:
+    """Seven replicas: five share the dominant stack, two run alternatives."""
+    dominant = ReplicaConfiguration.from_names(
+        operating_system="linux",
+        consensus_client="client-alpha",
+        crypto_library="openssl",
+    )
+    alternative_a = ReplicaConfiguration.from_names(
+        operating_system="freebsd",
+        consensus_client="client-beta",
+        crypto_library="libsodium",
+    )
+    alternative_b = ReplicaConfiguration.from_names(
+        operating_system="openbsd",
+        consensus_client="client-gamma",
+        crypto_library="boringssl",
+    )
+    replicas = [Replica(f"replica-{i}", dominant) for i in range(5)]
+    replicas.append(Replica("replica-5", alternative_a))
+    replicas.append(Replica("replica-6", alternative_b))
+    return ReplicaPopulation(replicas)
+
+
+def main() -> None:
+    population = build_population()
+    census = population.configuration_census()
+
+    print("== configuration census ==")
+    for configuration, share in census.largest(len(census)):
+        print(f"  {share:6.1%}  {configuration.identifier}")
+
+    print()
+    print(f"Shannon entropy          : {census.entropy():.4f} bits")
+    print(f"effective configurations : {census.effective_configurations():.2f}")
+    print(f"kappa (distinct configs) : {census.support_size()}")
+    print(f"kappa-optimal (Def. 1)?  : {is_kappa_optimal(census)}")
+    print(f"entropy deficit          : {optimality_gap(census).deficit:.4f} bits")
+
+    # One (hypothetical) vulnerability per distinct component: which of them,
+    # alone, would push the compromised power past the BFT tolerance?
+    catalog = VulnerabilityCatalog.for_population(population)
+    breakdown = single_vulnerability_breakdown(
+        population, catalog, family=ProtocolFamily.BFT
+    )
+    dangerous = [vuln_id for vuln_id, violates in breakdown.items() if violates]
+
+    print()
+    print("== single shared-vulnerability analysis (BFT, tolerance 1/3) ==")
+    print(f"vulnerable components considered : {len(breakdown)}")
+    print(f"single faults that violate safety: {len(dangerous)}")
+    for vuln_id in dangerous:
+        exposure = catalog.exposure(population)[vuln_id]
+        print(f"  {vuln_id}  exposes {exposure:.0f}/{population.total_power():.0f} voting power")
+
+    # The worst-case campaign, end to end.
+    campaign = ExploitCampaign(population, catalog)
+    outcome = campaign.run_worst_case(max_vulnerabilities=1)
+    report = campaign.resilience_report(outcome, family=ProtocolFamily.BFT)
+    print()
+    print("== worst-case single-vulnerability campaign ==")
+    print(f"compromised replicas : {sorted(outcome.compromised_replicas)}")
+    print(f"compromised power    : {outcome.compromised_power:.0f} ({outcome.compromised_fraction:.0%})")
+    print(f"safety condition     : {'HOLDS' if report.safe else 'VIOLATED'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed in environments without network access to PyPI
+(legacy editable installs via ``pip install -e . --no-build-isolation
+--no-use-pep517`` fall back to ``setup.py develop``, which only needs a local
+setuptools).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Fault Independence in Blockchain' (DSN 2023): "
+        "entropy-based replica diversity, fault-independence analysis, and "
+        "simulated BFT/Nakamoto substrates."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=[],
+)

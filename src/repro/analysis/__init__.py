@@ -1,0 +1,40 @@
+"""Analysis tools: Monte-Carlo safety estimation, parameter sweeps and reports.
+
+- :mod:`repro.analysis.monte_carlo` -- probability of a safety violation
+  under randomly-arriving shared vulnerabilities, as a function of the
+  configuration census.
+- :mod:`repro.analysis.sweep` -- generic parameter-sweep helpers used by the
+  experiments and benchmarks.
+- :mod:`repro.analysis.report` -- plain-text tables (no plotting dependency)
+  matching the rows/series the paper reports.
+"""
+
+from repro.analysis.components import (
+    ComponentKindProfile,
+    component_census,
+    component_entropy_profile,
+    diversification_priority,
+    exposure_by_component,
+    weakest_component,
+)
+from repro.analysis.monte_carlo import (
+    SafetyViolationEstimate,
+    estimate_violation_probability,
+)
+from repro.analysis.report import Table, format_table
+from repro.analysis.sweep import SweepResult, sweep
+
+__all__ = [
+    "ComponentKindProfile",
+    "SafetyViolationEstimate",
+    "SweepResult",
+    "Table",
+    "component_census",
+    "component_entropy_profile",
+    "diversification_priority",
+    "estimate_violation_probability",
+    "exposure_by_component",
+    "format_table",
+    "sweep",
+    "weakest_component",
+]

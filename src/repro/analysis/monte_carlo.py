@@ -1,0 +1,163 @@
+"""Monte-Carlo estimation of safety-violation probability.
+
+The Section II-C condition is deterministic once the compromised powers are
+known; what is *not* deterministic in practice is which components turn out
+to harbor exploitable vulnerabilities during a given window.  The estimator
+here samples that uncertainty: in each trial, every distinct component (or
+configuration) independently turns out vulnerable with a given probability,
+the attacker exploits the ``m`` most damaging of the vulnerable ones, and the
+trial records whether the compromised power exceeds the protocol's tolerance.
+
+Running the estimator across populations with different census entropy makes
+the paper's core claim quantitative: the probability that a small number of
+shared faults violates safety falls as diversity (entropy) rises.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Optional, Sequence, Tuple
+
+from repro.core.distribution import ConfigurationDistribution
+from repro.core.exceptions import AnalysisError
+from repro.core.resilience import ProtocolFamily, tolerated_fault_fraction
+
+
+@dataclass(frozen=True)
+class SafetyViolationEstimate:
+    """Result of a Monte-Carlo safety estimation.
+
+    Attributes:
+        trials: number of sampled vulnerability scenarios.
+        violations: scenarios in which compromised power reached the tolerance.
+        violation_probability: ``violations / trials``.
+        mean_compromised_fraction: mean compromised power fraction per trial.
+        tolerated_fraction: the protocol tolerance used for the verdicts.
+    """
+
+    trials: int
+    violations: int
+    violation_probability: float
+    mean_compromised_fraction: float
+    tolerated_fraction: float
+
+
+def estimate_violation_probability(
+    census: ConfigurationDistribution,
+    *,
+    family: ProtocolFamily = ProtocolFamily.BFT,
+    vulnerability_probability: float = 0.2,
+    exploit_budget: int = 1,
+    trials: int = 1000,
+    seed: int = 0,
+    tolerated_fraction: Optional[float] = None,
+) -> SafetyViolationEstimate:
+    """Estimate the probability that shared vulnerabilities violate safety.
+
+    Args:
+        census: the configuration distribution of voting power.  Each
+            configuration is one independent fault domain (the paper's
+            best-case assumption); its share is the power lost if it turns out
+            vulnerable and is exploited.
+        family: protocol family providing the tolerance (1/3 BFT, 1/2 hybrid
+            and Nakamoto).
+        vulnerability_probability: probability that any given configuration
+            has an exploitable vulnerability during the window.
+        exploit_budget: how many vulnerable configurations the attacker can
+            exploit simultaneously (it greedily picks the largest shares).
+        trials: Monte-Carlo sample count.
+        seed: RNG seed.
+        tolerated_fraction: explicit tolerance override (otherwise derived
+            from ``family``).
+    """
+    if not 0.0 <= vulnerability_probability <= 1.0:
+        raise AnalysisError(
+            f"vulnerability probability must be in [0, 1], got {vulnerability_probability}"
+        )
+    if exploit_budget < 0:
+        raise AnalysisError(f"exploit budget must be non-negative, got {exploit_budget}")
+    if trials <= 0:
+        raise AnalysisError(f"trial count must be positive, got {trials}")
+    tolerance = (
+        tolerated_fraction
+        if tolerated_fraction is not None
+        else tolerated_fault_fraction(family)
+    )
+    if not 0.0 < tolerance <= 1.0:
+        raise AnalysisError(f"tolerated fraction must be in (0, 1], got {tolerance}")
+
+    shares = sorted(census.probabilities(), reverse=True)
+    rng = random.Random(seed)
+    violations = 0
+    compromised_total = 0.0
+    for _ in range(trials):
+        vulnerable = [share for share in shares if rng.random() < vulnerability_probability]
+        vulnerable.sort(reverse=True)
+        compromised = sum(vulnerable[:exploit_budget])
+        compromised_total += compromised
+        if compromised >= tolerance:
+            violations += 1
+    return SafetyViolationEstimate(
+        trials=trials,
+        violations=violations,
+        violation_probability=violations / trials,
+        mean_compromised_fraction=compromised_total / trials,
+        tolerated_fraction=tolerance,
+    )
+
+
+def violation_probability_by_entropy(
+    censuses: Mapping[Hashable, ConfigurationDistribution],
+    *,
+    family: ProtocolFamily = ProtocolFamily.BFT,
+    vulnerability_probability: float = 0.2,
+    exploit_budget: int = 1,
+    trials: int = 1000,
+    seed: int = 0,
+) -> Tuple[Tuple[Hashable, float, float], ...]:
+    """Estimate violation probability for several censuses at once.
+
+    Returns ``(label, entropy_bits, violation_probability)`` tuples sorted by
+    entropy, which is the series the safety-violation experiment reports.
+    """
+    if not censuses:
+        raise AnalysisError("at least one census is required")
+    rows = []
+    for index, (label, census) in enumerate(censuses.items()):
+        estimate = estimate_violation_probability(
+            census,
+            family=family,
+            vulnerability_probability=vulnerability_probability,
+            exploit_budget=exploit_budget,
+            trials=trials,
+            seed=seed + index,
+        )
+        rows.append((label, census.entropy(), estimate.violation_probability))
+    rows.sort(key=lambda row: row[1])
+    return tuple(rows)
+
+
+def analytic_single_vulnerability_violation(
+    census: ConfigurationDistribution,
+    *,
+    vulnerability_probability: float,
+    tolerated_fraction: float,
+) -> float:
+    """Closed-form check for the ``exploit_budget = 1`` case.
+
+    With one exploit, safety is violated exactly when at least one
+    configuration whose share reaches the tolerance turns out vulnerable, so
+    the probability is ``1 - (1 - p)^c`` where ``c`` counts configurations at
+    or above the tolerance.  Used to validate the Monte-Carlo estimator.
+    """
+    if not 0.0 <= vulnerability_probability <= 1.0:
+        raise AnalysisError(
+            f"vulnerability probability must be in [0, 1], got {vulnerability_probability}"
+        )
+    if not 0.0 < tolerated_fraction <= 1.0:
+        raise AnalysisError(
+            f"tolerated fraction must be in (0, 1], got {tolerated_fraction}"
+        )
+    critical = sum(1 for share in census.probabilities() if share >= tolerated_fraction)
+    return 1.0 - (1.0 - vulnerability_probability) ** critical

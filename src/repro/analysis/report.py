@@ -1,0 +1,96 @@
+"""Plain-text tabular reports.
+
+The paper's evaluation is one figure and one worked example; the reproduction
+regenerates them as text tables and series so no plotting stack is required.
+``Table`` is a tiny column-aligned formatter used by every experiment driver
+and by ``EXPERIMENTS.md`` generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Union
+
+from repro.core.exceptions import AnalysisError
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(cell: Cell, float_digits: int) -> str:
+    if isinstance(cell, bool):  # bool is an int subclass; keep it readable
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.{float_digits}f}"
+    return str(cell)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table."""
+
+    headers: Sequence[str]
+    rows: List[Sequence[Cell]] = field(default_factory=list)
+    float_digits: int = 4
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row; the cell count must match the headers."""
+        if len(cells) != len(self.headers):
+            raise AnalysisError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(tuple(cells))
+
+    def extend(self, rows: Iterable[Sequence[Cell]]) -> None:
+        """Append several rows."""
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        """The table as aligned text."""
+        return format_table(self.headers, self.rows, float_digits=self.float_digits)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    float_digits: int = 4,
+) -> str:
+    """Format headers and rows as an aligned text table."""
+    if not headers:
+        raise AnalysisError("a table needs at least one column")
+    formatted_rows = [
+        [_format_cell(cell, float_digits) for cell in row] for row in rows
+    ]
+    for row in formatted_rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+    widths = [len(header) for header in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    header_line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in formatted_rows
+    ]
+    return "\n".join([header_line, separator, *body])
+
+
+def format_series(
+    name: str, points: Sequence[tuple], *, float_digits: int = 4
+) -> str:
+    """Format an ``(x, y)`` series as two aligned columns with a title."""
+    table = Table(headers=("x", name), float_digits=float_digits)
+    for x, y in points:
+        table.add_row(x, y)
+    return table.render()

@@ -1,0 +1,107 @@
+"""Binding vote keys to attested configurations (Remark 3).
+
+Remark 3 of the paper: "it is essential to associate the secret key for
+attestation and the secret key for authenticating a vote, proving that a vote
+indeed comes from a replica with the attested configuration."  The binder
+below implements the simulated equivalent: when a quote verifies, the
+verifier records (replica, vote key, configuration); a vote is accepted as
+*configuration-backed* only if it is signed (simulated HMAC) with the bound
+vote key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.attestation.quote import AttestationQuote
+from repro.attestation.verifier import AttestationVerifier
+from repro.core.configuration import ReplicaConfiguration
+from repro.core.exceptions import AttestationError
+
+
+def derive_vote_key(replica_id: str, secret_seed: str) -> str:
+    """Derive a replica's (simulated) vote-signing key."""
+    return hashlib.sha256(f"vote-key:{secret_seed}:{replica_id}".encode()).hexdigest()
+
+
+def sign_vote(vote_key: str, ballot: str) -> str:
+    """Sign a ballot with the vote key (simulated signature)."""
+    return hmac.new(vote_key.encode(), ballot.encode(), hashlib.sha256).hexdigest()
+
+
+@dataclass(frozen=True)
+class BoundVote:
+    """A vote together with the attestation-backed identity of its signer.
+
+    Attributes:
+        replica_id: the voter.
+        ballot: the voted value (opaque string).
+        signature: signature over the ballot with the bound vote key.
+    """
+
+    replica_id: str
+    ballot: str
+    signature: str
+
+
+class VoteKeyBinder:
+    """Associates verified attestations with vote keys and checks votes."""
+
+    def __init__(self, verifier: AttestationVerifier) -> None:
+        self._verifier = verifier
+        self._bindings: Dict[str, Tuple[str, ReplicaConfiguration]] = {}
+
+    def bind(self, quote: AttestationQuote, vote_key: str) -> ReplicaConfiguration:
+        """Verify ``quote`` and bind ``vote_key`` to the attested configuration.
+
+        Returns the attested configuration; raises when the quote does not
+        verify (no binding is recorded in that case).
+        """
+        if not vote_key:
+            raise AttestationError("vote key must not be empty")
+        result = self._verifier.verify(quote)
+        if not result.valid:
+            raise AttestationError(f"attestation failed: {result.reason}")
+        assert result.attested_configuration is not None  # guaranteed when valid
+        self._bindings[quote.replica_id] = (vote_key, result.attested_configuration)
+        return result.attested_configuration
+
+    def is_bound(self, replica_id: str) -> bool:
+        """Whether ``replica_id`` currently has an attestation-backed vote key."""
+        return replica_id in self._bindings
+
+    def configuration_of(self, replica_id: str) -> ReplicaConfiguration:
+        """The attested configuration bound to ``replica_id``."""
+        try:
+            return self._bindings[replica_id][1]
+        except KeyError:
+            raise AttestationError(f"replica {replica_id!r} has no binding") from None
+
+    def cast_vote(self, replica_id: str, vote_key: str, ballot: str) -> BoundVote:
+        """Produce a vote signed with the replica's bound key."""
+        if replica_id not in self._bindings:
+            raise AttestationError(f"replica {replica_id!r} has no binding")
+        return BoundVote(replica_id=replica_id, ballot=ballot, signature=sign_vote(vote_key, ballot))
+
+    def verify_vote(self, vote: BoundVote) -> bool:
+        """Check that a vote was signed with the key bound to its sender.
+
+        Returns false (rather than raising) for unbound replicas and bad
+        signatures, because rejecting votes is a normal protocol event.
+        """
+        binding = self._bindings.get(vote.replica_id)
+        if binding is None:
+            return False
+        bound_key, _ = binding
+        expected = sign_vote(bound_key, vote.ballot)
+        return hmac.compare_digest(expected, vote.signature)
+
+    def attested_weight(self, weights: Dict[str, float]) -> float:
+        """Total voting weight of the replicas that hold valid bindings."""
+        return sum(weight for replica_id, weight in weights.items() if replica_id in self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)

@@ -1,0 +1,137 @@
+"""Configuration privacy: commitments instead of cleartext configurations.
+
+Remark 3's second concern: publishing every replica's configuration hands
+attackers a target list when a new vulnerability drops.  The standard remedy
+is to publish only a *hiding commitment* to the configuration; the diversity
+analysis can still be run by a party that learns the openings (the
+attestation service), or in aggregate.
+
+The commitments here are hash-based (SHA-256 over configuration || blinding
+factor): binding under collision resistance and hiding as long as the
+blinding factor stays secret — sufficient fidelity for simulation purposes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.core.configuration import ReplicaConfiguration
+from repro.core.distribution import ConfigurationDistribution
+from repro.core.exceptions import AttestationError
+
+
+@dataclass(frozen=True)
+class ConfigurationCommitment:
+    """A hiding, binding commitment to one replica's configuration.
+
+    Attributes:
+        replica_id: whose configuration is committed.
+        digest: the published commitment value.
+    """
+
+    replica_id: str
+    digest: str
+
+
+def _commitment_digest(configuration: ReplicaConfiguration, blinding: str) -> str:
+    return hashlib.sha256(f"{configuration.identifier}|{blinding}".encode()).hexdigest()
+
+
+def commit_configuration(
+    replica_id: str,
+    configuration: ReplicaConfiguration,
+    *,
+    blinding: Optional[str] = None,
+) -> tuple:
+    """Commit to ``configuration`` and return ``(commitment, blinding)``.
+
+    The blinding factor must be kept secret by the replica (and shared only
+    with the party allowed to learn the configuration, e.g. the attestation
+    service computing the aggregate diversity statistics).
+    """
+    if not replica_id:
+        raise AttestationError("replica id must not be empty")
+    blinding = blinding if blinding is not None else secrets.token_hex(16)
+    if not blinding:
+        raise AttestationError("blinding factor must not be empty")
+    commitment = ConfigurationCommitment(
+        replica_id=replica_id,
+        digest=_commitment_digest(configuration, blinding),
+    )
+    return commitment, blinding
+
+
+def open_commitment(
+    commitment: ConfigurationCommitment,
+    configuration: ReplicaConfiguration,
+    blinding: str,
+) -> bool:
+    """Check an opening of a commitment (true when it matches)."""
+    return commitment.digest == _commitment_digest(configuration, blinding)
+
+
+class PrivateCensusAggregator:
+    """Computes the configuration census without publishing who runs what.
+
+    Replicas submit commitments publicly and reveal the opening only to the
+    aggregator; the aggregator publishes the *distribution* (which is all the
+    entropy analysis needs) but never the per-replica assignment.
+    """
+
+    def __init__(self) -> None:
+        self._commitments: Dict[str, ConfigurationCommitment] = {}
+        self._openings: Dict[str, ReplicaConfiguration] = {}
+        self._weights: Dict[str, float] = {}
+
+    def submit_commitment(
+        self, commitment: ConfigurationCommitment, *, weight: float = 1.0
+    ) -> None:
+        """Record a replica's public commitment and voting weight."""
+        if weight < 0:
+            raise AttestationError(f"weight must be non-negative, got {weight}")
+        if commitment.replica_id in self._commitments:
+            raise AttestationError(
+                f"replica {commitment.replica_id!r} already submitted a commitment"
+            )
+        self._commitments[commitment.replica_id] = commitment
+        self._weights[commitment.replica_id] = weight
+
+    def reveal(
+        self,
+        replica_id: str,
+        configuration: ReplicaConfiguration,
+        blinding: str,
+    ) -> None:
+        """Privately open a commitment to the aggregator."""
+        commitment = self._commitments.get(replica_id)
+        if commitment is None:
+            raise AttestationError(f"replica {replica_id!r} submitted no commitment")
+        if not open_commitment(commitment, configuration, blinding):
+            raise AttestationError(f"opening for replica {replica_id!r} does not verify")
+        self._openings[replica_id] = configuration
+
+    def revealed_fraction(self) -> float:
+        """Fraction of committed replicas that have opened their commitment."""
+        if not self._commitments:
+            return 0.0
+        return len(self._openings) / len(self._commitments)
+
+    def census(self) -> ConfigurationDistribution:
+        """The (weight-weighted) configuration distribution of opened replicas.
+
+        Per-replica assignments stay inside the aggregator; only the aggregate
+        distribution leaves it.
+        """
+        if not self._openings:
+            raise AttestationError("no commitments have been opened yet")
+        weights: Dict[ReplicaConfiguration, float] = {}
+        for replica_id, configuration in self._openings.items():
+            weight = self._weights.get(replica_id, 1.0)
+            weights[configuration] = weights.get(configuration, 0.0) + weight
+        return ConfigurationDistribution(weights)
+
+    def __len__(self) -> int:
+        return len(self._commitments)

@@ -1,0 +1,106 @@
+"""Measurements and attestation quotes.
+
+A *measurement* is a digest over the replica's software stack (its
+:class:`~repro.core.configuration.ReplicaConfiguration`), mimicking what a TPM
+accumulates in its PCRs or what an SGX enclave reports as MRENCLAVE.  A
+*quote* is a measurement signed by a trusted device, together with a nonce
+that protects against replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.attestation.device import AttestationDevice
+from repro.core.configuration import ReplicaConfiguration
+from repro.core.exceptions import AttestationError
+
+
+def measure_configuration(configuration: ReplicaConfiguration) -> str:
+    """Deterministic digest of a replica configuration (simulated PCR value)."""
+    return hashlib.sha256(configuration.identifier.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class AttestationQuote:
+    """A signed statement "device D measured configuration digest M".
+
+    Attributes:
+        replica_id: the replica being attested.
+        device_id: the trusted device that produced the quote.
+        measurement: digest of the attested configuration.
+        nonce: verifier-chosen freshness nonce.
+        firmware_version: firmware the device reported.
+        signature: the device's signature over the quote body.
+        claimed_configuration: the configuration the replica claims to run
+            (carried alongside so the verifier can recompute the measurement;
+            a lying replica with an honest device is caught by the mismatch).
+    """
+
+    replica_id: str
+    device_id: str
+    measurement: str
+    nonce: str
+    firmware_version: str
+    signature: str
+    claimed_configuration: Optional[ReplicaConfiguration] = None
+
+    def body(self) -> str:
+        """The byte string (as text) the signature covers."""
+        return "|".join(
+            (self.replica_id, self.device_id, self.measurement, self.nonce, self.firmware_version)
+        )
+
+
+def produce_quote(
+    device: AttestationDevice,
+    replica_id: str,
+    configuration: ReplicaConfiguration,
+    nonce: str,
+    *,
+    lie_about: Optional[ReplicaConfiguration] = None,
+) -> AttestationQuote:
+    """Have ``device`` attest ``configuration`` for ``replica_id``.
+
+    Args:
+        device: the replica's trusted device.
+        replica_id: the replica being attested.
+        configuration: the configuration actually running on the replica.
+        nonce: verifier-supplied freshness nonce.
+        lie_about: when given *and* the device is compromised, the quote
+            reports this configuration instead of the real one (an intact
+            device refuses to lie and raises).
+    """
+    if not replica_id:
+        raise AttestationError("replica id must not be empty")
+    if not nonce:
+        raise AttestationError("nonce must not be empty")
+    reported = configuration
+    if lie_about is not None:
+        if not device.compromised:
+            raise AttestationError(
+                f"device {device.device_id!r} is intact and refuses to attest a false configuration"
+            )
+        reported = lie_about
+    measurement = measure_configuration(reported)
+    quote = AttestationQuote(
+        replica_id=replica_id,
+        device_id=device.device_id,
+        measurement=measurement,
+        nonce=nonce,
+        firmware_version=device.firmware_version,
+        signature="",
+        claimed_configuration=reported,
+    )
+    signature = device.sign(quote.body())
+    return AttestationQuote(
+        replica_id=quote.replica_id,
+        device_id=quote.device_id,
+        measurement=quote.measurement,
+        nonce=quote.nonce,
+        firmware_version=quote.firmware_version,
+        signature=signature,
+        claimed_configuration=reported,
+    )

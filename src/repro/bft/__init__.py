@@ -1,0 +1,37 @@
+"""BFT consensus substrate running on the discrete-event simulator.
+
+Three protocol families are provided, matching the systems the paper
+references:
+
+- :mod:`repro.bft.pbft` -- a PBFT-style three-phase protocol (pre-prepare /
+  prepare / commit, all-to-all, n = 3f + 1);
+- :mod:`repro.bft.hotstuff` -- a streamlined leader-driven protocol with
+  linear message complexity (HotStuff-style phases);
+- :mod:`repro.bft.hybrid` -- a hybrid protocol using trusted components to
+  prevent equivocation (Damysus / MinBFT-style, n = 2f + 1); compromising a
+  replica's trusted hardware re-enables equivocation, which is exactly the
+  trusted-hardware fault-independence concern raised in Section III-A.
+
+The point of these simulations is not throughput but *safety behaviour under
+correlated faults*: runs driven by a :class:`~repro.faults.injection.FaultSchedule`
+show that safety holds while the Section II-C condition holds and breaks once
+a shared fault pushes the Byzantine power past the quorum bound.
+"""
+
+from repro.bft.hotstuff import HotStuffRun
+from repro.bft.hybrid import HybridRun
+from repro.bft.ledger import ReplicatedLedger, check_agreement
+from repro.bft.pbft import PbftRun
+from repro.bft.quorum import QuorumSpec
+from repro.bft.runner import ConsensusRunResult, run_consensus
+
+__all__ = [
+    "ConsensusRunResult",
+    "HotStuffRun",
+    "HybridRun",
+    "PbftRun",
+    "QuorumSpec",
+    "ReplicatedLedger",
+    "check_agreement",
+    "run_consensus",
+]

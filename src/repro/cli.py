@@ -1,0 +1,145 @@
+"""Command-line interface for the reproduction.
+
+Three subcommands cover the common workflows without writing Python:
+
+- ``list``    — show the available experiments (one per paper artifact);
+- ``run``     — run one, several or all experiments and print their tables;
+- ``entropy`` — quick diversity analysis of a voting-power distribution given
+  as ``name=power`` pairs (e.g. mining-pool shares), reporting the Shannon
+  entropy, the full diversity profile and which protocol tolerances a single
+  shared fault in the largest configuration would break.
+
+Examples::
+
+    python -m repro.cli list
+    python -m repro.cli run figure1 example1
+    python -m repro.cli run --all
+    python -m repro.cli entropy foundry=34.2 antpool=20.0 f2pool=13.0 rest=32.8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import Table
+from repro.core.distribution import ConfigurationDistribution
+from repro.core.exceptions import ReproError
+from repro.core.resilience import ProtocolFamily, tolerated_fault_fraction
+from repro.experiments import runner as experiment_runner
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Fault Independence in Blockchain' (DSN 2023).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run experiments and print their tables")
+    run_parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment names (see 'list'); default: all of them",
+    )
+    run_parser.add_argument(
+        "--all", action="store_true", help="run every experiment (same as no names)"
+    )
+
+    entropy_parser = subparsers.add_parser(
+        "entropy", help="diversity analysis of a name=power distribution"
+    )
+    entropy_parser.add_argument(
+        "shares",
+        nargs="+",
+        metavar="NAME=POWER",
+        help="voting-power entries, e.g. foundry=34.2 antpool=20.0",
+    )
+    return parser
+
+
+def _known_experiment_names() -> List[str]:
+    return [name for name, _ in experiment_runner.ALL_EXPERIMENTS]
+
+
+def _command_list() -> int:
+    print("available experiments:")
+    for name in _known_experiment_names():
+        print(f"  {name}")
+    return 0
+
+
+def _command_run(names: Sequence[str], run_all: bool) -> int:
+    known = set(_known_experiment_names())
+    selected = [] if run_all else list(names)
+    unknown = [name for name in selected if name not in known]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known experiments: {', '.join(sorted(known))}", file=sys.stderr)
+        return 2
+    experiment_runner.run_all(selected)
+    return 0
+
+
+def _parse_shares(entries: Sequence[str]) -> ConfigurationDistribution:
+    weights = {}
+    for entry in entries:
+        name, separator, raw_value = entry.partition("=")
+        if not separator or not name:
+            raise ReproError(f"expected NAME=POWER, got {entry!r}")
+        try:
+            value = float(raw_value)
+        except ValueError as error:
+            raise ReproError(f"power in {entry!r} is not a number") from error
+        weights[name] = value
+    return ConfigurationDistribution(weights)
+
+
+def _command_entropy(entries: Sequence[str]) -> int:
+    distribution = _parse_shares(entries)
+    profile = distribution.diversity_profile()
+    table = Table(headers=("metric", "value"))
+    table.add_row("configurations", len(distribution))
+    table.add_row("kappa (non-zero shares)", distribution.support_size())
+    table.add_row("shannon entropy (bits)", profile["shannon_entropy"])
+    table.add_row("normalized entropy", profile["normalized_entropy"])
+    table.add_row("effective configurations (Hill q=1)", profile["hill_1"])
+    table.add_row("largest share (Berger-Parker)", profile["berger_parker"])
+    table.add_row("HHI", profile["hhi"])
+    print(table.render())
+    print()
+    largest = profile["berger_parker"]
+    for family in (ProtocolFamily.BFT, ProtocolFamily.NAKAMOTO):
+        tolerance = tolerated_fault_fraction(family)
+        verdict = "VIOLATES" if largest >= tolerance else "respects"
+        print(
+            f"a single fault in the largest configuration {verdict} the "
+            f"{family.value} tolerance ({tolerance:.0%})"
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        if arguments.command == "list":
+            return _command_list()
+        if arguments.command == "run":
+            return _command_run(arguments.experiments, arguments.all)
+        if arguments.command == "entropy":
+            return _command_entropy(arguments.shares)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    parser.error(f"unknown command {arguments.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Exception hierarchy shared by every ``repro`` subpackage.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Each subpackage raises the most specific subclass that
+describes the failure; none of them ever raises a bare ``Exception``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class DistributionError(ReproError):
+    """A probability or abundance distribution is malformed.
+
+    Raised for negative weights, empty supports, or probability vectors that
+    do not sum to one within tolerance.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A replica configuration or configuration space is malformed."""
+
+
+class PopulationError(ReproError):
+    """An operation on a :class:`~repro.core.population.ReplicaPopulation`
+    is invalid (duplicate replica id, unknown replica, negative power, ...)."""
+
+
+class OptimalityError(ReproError):
+    """A κ-optimal or (κ, ω)-optimal construction received invalid
+    parameters (for example κ larger than the configuration space)."""
+
+
+class AttestationError(ReproError):
+    """Remote attestation failed: unknown key, bad measurement, revoked
+    device, or a quote that does not verify."""
+
+
+class FaultModelError(ReproError):
+    """The vulnerability catalog or an exploit campaign is misconfigured."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class ProtocolError(ReproError):
+    """A consensus protocol (BFT or Nakamoto) violated an internal
+    invariant or received an impossible message."""
+
+
+class MembershipError(ReproError):
+    """A permissionless membership operation is invalid (unknown identity,
+    negative stake, malformed committee parameters)."""
+
+
+class PlanningError(ReproError):
+    """The diversity planner could not produce a valid assignment."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine (Monte-Carlo estimator, sweep, report) received
+    inconsistent inputs."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured with invalid parameters."""

@@ -1,0 +1,320 @@
+"""Propositions 1-3 of the paper as executable, checkable statements.
+
+The paper states three propositions verbally; this module turns each into a
+function that evaluates the proposition on concrete inputs and returns a
+structured result that records the quantities involved, so the experiments
+can both *verify* the propositions on sweeps and *report* the underlying
+numbers (entropy before/after, resilience before/after, message overhead).
+
+- **Proposition 1** — "For a κ-optimal fault independence system, increasing
+  configuration abundance decreases entropy, unless the relative configuration
+  abundance remains identical."
+- **Proposition 2** — "Assuming each replica has a unique configuration,
+  having more replicas does not provide more resilience, unless the relative
+  configuration abundances are identical."
+- **Proposition 3** — "Higher configuration abundance improves the resilience
+  of permissionless blockchains" (against rational/insider operators, at a
+  message-overhead cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Optional, Sequence
+
+from repro.core.abundance import AbundanceVector
+from repro.core.distribution import ConfigurationDistribution
+from repro.core.exceptions import OptimalityError
+from repro.core.optimality import is_kappa_optimal
+
+ConfigKey = Hashable
+
+#: Absolute tolerance for entropy comparisons in the proposition checks.
+ENTROPY_TOLERANCE = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Proposition 1
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Proposition1Result:
+    """Outcome of applying an abundance increase to a κ-optimal system.
+
+    Attributes:
+        entropy_before: entropy (bits) of the κ-optimal starting point.
+        entropy_after: entropy (bits) after the abundance increase.
+        relative_abundance_preserved: whether the increase kept the percent
+            composition identical.
+        entropy_decreased: whether entropy strictly decreased.
+        holds: whether the observed behaviour matches Proposition 1 — i.e.
+            entropy decreased, or it stayed the same *because* the relative
+            abundance was preserved.
+    """
+
+    entropy_before: float
+    entropy_after: float
+    relative_abundance_preserved: bool
+    entropy_decreased: bool
+    holds: bool
+
+
+def check_proposition_1(
+    baseline: AbundanceVector,
+    increments: Mapping[ConfigKey, float],
+    *,
+    base: float = 2.0,
+) -> Proposition1Result:
+    """Apply ``increments`` to a κ-optimal abundance vector and check Prop. 1.
+
+    Args:
+        baseline: a κ-optimal abundance vector (every populated configuration
+            has the same abundance); anything else raises
+            :class:`~repro.core.exceptions.OptimalityError` because the
+            proposition is stated for κ-optimal systems.
+        increments: additional individuals per configuration (new
+            configurations are not allowed — the proposition is about
+            *abundance*, i.e. more individuals of existing configurations).
+        base: entropy logarithm base.
+    """
+    if not is_kappa_optimal(baseline.to_distribution()):
+        raise OptimalityError("Proposition 1 requires a κ-optimal baseline system")
+    unknown = [key for key in increments if key not in baseline]
+    if unknown:
+        raise OptimalityError(
+            f"increments reference configurations outside the system: {unknown!r}"
+        )
+    negative = {key: value for key, value in increments.items() if value < 0}
+    if negative:
+        raise OptimalityError(
+            f"Proposition 1 is about increasing abundance; got negative increments {negative!r}"
+        )
+    increased = baseline.incremented(increments)
+
+    entropy_before = baseline.entropy(base=base)
+    entropy_after = increased.entropy(base=base)
+    preserved = baseline.has_same_relative_abundance(increased)
+    decreased = entropy_after < entropy_before - ENTROPY_TOLERANCE
+    unchanged = abs(entropy_after - entropy_before) <= ENTROPY_TOLERANCE
+
+    holds = decreased or (unchanged and preserved)
+    return Proposition1Result(
+        entropy_before=entropy_before,
+        entropy_after=entropy_after,
+        relative_abundance_preserved=preserved,
+        entropy_decreased=decreased,
+        holds=holds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Proposition 2
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Proposition2Result:
+    """Outcome of growing a unique-configuration system and checking Prop. 2.
+
+    "Resilience" is quantified by the worst single-fault exposure: the largest
+    configuration share (Berger-Parker dominance), i.e. the voting power an
+    attacker gains from one shared fault in the most popular configuration.
+    Adding replicas improves resilience only when it shrinks that largest
+    share — which, for unique-configuration systems, happens exactly when the
+    power split stays uniform (identical relative abundances).  In an
+    oligopoly (Example 1), adding small miners leaves the dominant shares
+    untouched, so resilience does not improve no matter how many replicas
+    join.  Shannon entropies are reported alongside for context.
+    """
+
+    replicas_before: int
+    replicas_after: int
+    entropy_before: float
+    entropy_after: float
+    largest_share_before: float
+    largest_share_after: float
+    relative_abundances_identical: bool
+    resilience_improved: bool
+    holds: bool
+
+
+def check_proposition_2(
+    power_before: Sequence[float],
+    power_after: Sequence[float],
+    *,
+    base: float = 2.0,
+) -> Proposition2Result:
+    """Check Proposition 2 on two snapshots of a unique-configuration system.
+
+    Args:
+        power_before: voting power per replica in the smaller system (each
+            replica assumed to run a unique configuration).
+        power_after: voting power per replica in the larger system; must not
+            have fewer replicas than ``power_before``.
+        base: entropy logarithm base.
+
+    The proposition holds for the pair when either (a) resilience (the largest
+    configuration share) did not improve, or (b) it improved but the relative
+    abundances of the larger system are identical (it is uniform — every
+    replica holds the same share, which is the only way per-replica uniqueness
+    translates into genuinely independent fault domains of equal weight).
+    """
+    if len(power_after) < len(power_before):
+        raise OptimalityError(
+            "Proposition 2 compares a system against a larger one; "
+            f"got {len(power_before)} -> {len(power_after)} replicas"
+        )
+    before = ConfigurationDistribution.from_probabilities(
+        list(power_before), keys=[f"before-{i}" for i in range(len(power_before))]
+    )
+    after = ConfigurationDistribution.from_probabilities(
+        list(power_after), keys=[f"after-{i}" for i in range(len(power_after))]
+    )
+    entropy_before = before.entropy(base=base)
+    entropy_after = after.entropy(base=base)
+    largest_before = max(before.probabilities())
+    largest_after = max(after.probabilities())
+    improved = largest_after < largest_before - ENTROPY_TOLERANCE
+    uniform_after = after.is_uniform()
+    holds = (not improved) or uniform_after
+    return Proposition2Result(
+        replicas_before=len(power_before),
+        replicas_after=len(power_after),
+        entropy_before=entropy_before,
+        entropy_after=entropy_after,
+        largest_share_before=largest_before,
+        largest_share_after=largest_after,
+        relative_abundances_identical=uniform_after,
+        resilience_improved=improved,
+        holds=holds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Proposition 3
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Proposition3Result:
+    """Effect of configuration abundance on resilience to rational operators.
+
+    With abundance ω, each configuration's voting power is split across ω
+    independently-operated replicas.  A rational (bribed, selfish, or insider)
+    operator controls only the replicas it operates — not the other replicas
+    sharing its configuration — so the maximum voting power a coalition of
+    ``colluding_operators`` rational operators can control shrinks as ω grows.
+    The price is message overhead: the replica count grows by the factor ω.
+
+    Attributes:
+        abundance: the configuration abundance ω.
+        replica_count: total number of replicas (κ · ω for uniform systems).
+        max_rational_takeover: largest voting-power fraction controllable by
+            the coalition of rational operators.
+        max_exploit_takeover: largest voting-power fraction compromised by a
+            single shared vulnerability (unchanged by ω — Prop. 3's caveat
+            that abundance does not help against shared-vulnerability faults).
+        message_complexity: per-consensus-round message count under the given
+            message model.
+    """
+
+    abundance: int
+    replica_count: int
+    max_rational_takeover: float
+    max_exploit_takeover: float
+    message_complexity: int
+
+
+def rational_takeover_fraction(
+    distribution: ConfigurationDistribution,
+    abundance: int,
+    colluding_operators: int,
+) -> float:
+    """Maximum power fraction a coalition of rational operators can control.
+
+    Each configuration's share is split evenly across ``abundance``
+    independently-operated replicas; the coalition greedily picks the
+    ``colluding_operators`` largest resulting replicas.
+    """
+    if abundance <= 0:
+        raise OptimalityError(f"abundance must be positive, got {abundance}")
+    if colluding_operators < 0:
+        raise OptimalityError(
+            f"colluding operator count must be non-negative, got {colluding_operators}"
+        )
+    per_replica_shares: list[float] = []
+    for share in distribution.probabilities():
+        if share <= 0:
+            continue
+        per_replica_shares.extend([share / abundance] * abundance)
+    per_replica_shares.sort(reverse=True)
+    return min(1.0, sum(per_replica_shares[:colluding_operators]))
+
+
+def message_complexity(replica_count: int, *, model: str = "quadratic") -> int:
+    """Per-round message count for ``replica_count`` replicas.
+
+    ``model`` is ``"quadratic"`` for all-to-all (PBFT-style) phases or
+    ``"linear"`` for leader-relayed (HotStuff-style) phases.  Proposition 3's
+    trade-off — abundance buys resilience but costs messages — is made
+    concrete through this function.
+    """
+    if replica_count <= 0:
+        raise OptimalityError(f"replica count must be positive, got {replica_count}")
+    if model == "quadratic":
+        return replica_count * replica_count
+    if model == "linear":
+        return replica_count
+    raise OptimalityError(f"unknown message model {model!r}")
+
+
+def check_proposition_3(
+    distribution: ConfigurationDistribution,
+    abundances: Sequence[int],
+    *,
+    colluding_operators: int = 1,
+    message_model: str = "quadratic",
+) -> list[Proposition3Result]:
+    """Evaluate the abundance/resilience/overhead trade-off of Proposition 3.
+
+    Returns one :class:`Proposition3Result` per abundance value, in the given
+    order.  Proposition 3 holds on the sweep when ``max_rational_takeover`` is
+    non-increasing in ω while ``message_complexity`` is non-decreasing.
+    """
+    if not abundances:
+        raise OptimalityError("at least one abundance value is required")
+    results: list[Proposition3Result] = []
+    exploit_takeover = max(distribution.probabilities())
+    for omega in abundances:
+        if omega <= 0:
+            raise OptimalityError(f"abundance must be positive, got {omega}")
+        replica_count = distribution.support_size() * omega
+        results.append(
+            Proposition3Result(
+                abundance=omega,
+                replica_count=replica_count,
+                max_rational_takeover=rational_takeover_fraction(
+                    distribution, omega, colluding_operators
+                ),
+                max_exploit_takeover=exploit_takeover,
+                message_complexity=message_complexity(replica_count, model=message_model),
+            )
+        )
+    return results
+
+
+def proposition_3_holds(results: Sequence[Proposition3Result]) -> bool:
+    """True when the sweep exhibits the trade-off Proposition 3 claims."""
+    if len(results) < 2:
+        return True
+    ordered = sorted(results, key=lambda result: result.abundance)
+    takeover_non_increasing = all(
+        later.max_rational_takeover <= earlier.max_rational_takeover + ENTROPY_TOLERANCE
+        for earlier, later in zip(ordered, ordered[1:])
+    )
+    overhead_non_decreasing = all(
+        later.message_complexity >= earlier.message_complexity
+        for earlier, later in zip(ordered, ordered[1:])
+    )
+    return takeover_non_increasing and overhead_non_decreasing

@@ -1,0 +1,44 @@
+"""Datasets and synthetic data generators.
+
+- :mod:`repro.datasets.bitcoin_pools` -- the 02-Feb-2023 Bitcoin mining-pool
+  hash-power snapshot used by the paper's Example 1 and Figure 1.
+- :mod:`repro.datasets.software_ecosystem` -- synthetic market-share data for
+  the component families discussed in Section III-A (operating systems,
+  consensus clients, wallets, crypto libraries, trusted hardware).
+- :mod:`repro.datasets.generators` -- parametric distribution generators
+  (uniform, Zipf, Dirichlet, oligopoly) used by sweeps and ablations.
+"""
+
+from repro.datasets.bitcoin_pools import (
+    BITCOIN_POOL_SHARES_FEB_2023,
+    RESIDUAL_SHARE_FEB_2023,
+    bitcoin_pool_distribution,
+    bitcoin_pool_ledger,
+    figure1_distribution,
+)
+from repro.datasets.generators import (
+    dirichlet_distribution,
+    oligopoly_distribution,
+    uniform_distribution,
+    zipf_distribution,
+)
+from repro.datasets.software_ecosystem import (
+    SyntheticEcosystem,
+    default_ecosystem,
+    skewed_ecosystem,
+)
+
+__all__ = [
+    "BITCOIN_POOL_SHARES_FEB_2023",
+    "RESIDUAL_SHARE_FEB_2023",
+    "SyntheticEcosystem",
+    "bitcoin_pool_distribution",
+    "bitcoin_pool_ledger",
+    "default_ecosystem",
+    "dirichlet_distribution",
+    "figure1_distribution",
+    "oligopoly_distribution",
+    "skewed_ecosystem",
+    "uniform_distribution",
+    "zipf_distribution",
+]

@@ -1,0 +1,218 @@
+"""Synthetic software-ecosystem market shares.
+
+The paper's Section III-A argues that replica diversity comes from the choice
+of operating system, consensus client, wallet / key-management module, crypto
+library and trusted hardware.  Real market-share data for blockchain node
+software is not redistributable, so this module ships *synthetic but shaped*
+ecosystems: per component kind, a handful of alternatives with Zipf-like
+popularity, which reproduces the qualitative situation the paper describes
+(one dominant choice per slot, a short tail of alternatives).
+
+The ecosystems are used to generate replica populations whose configuration
+census has realistic (low) entropy, to drive exploit campaigns ("a zero-day in
+the dominant OS"), and to give the diversity planner something to optimize.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.configuration import (
+    ComponentKind,
+    ReplicaConfiguration,
+    SoftwareComponent,
+)
+from repro.core.exceptions import ConfigurationError
+from repro.core.population import Replica, ReplicaPopulation
+from repro.core.power import PowerRegime
+
+
+@dataclass(frozen=True)
+class ComponentMarket:
+    """Market shares for one component kind.
+
+    Attributes:
+        kind: the component slot.
+        shares: mapping component name -> market share (normalized on use).
+    """
+
+    kind: ComponentKind
+    shares: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.shares:
+            raise ConfigurationError(f"market for {self.kind.value!r} has no components")
+        if any(share < 0 for _, share in self.shares):
+            raise ConfigurationError("market shares must be non-negative")
+        if sum(share for _, share in self.shares) <= 0:
+            raise ConfigurationError("market shares must have positive total")
+
+    def components(self) -> Tuple[SoftwareComponent, ...]:
+        """The components on offer for this kind."""
+        return tuple(SoftwareComponent(self.kind, name) for name, _ in self.shares)
+
+    def normalized_shares(self) -> Dict[str, float]:
+        """Market shares normalized to sum to one."""
+        total = sum(share for _, share in self.shares)
+        return {name: share / total for name, share in self.shares}
+
+    def sample(self, rng: random.Random) -> SoftwareComponent:
+        """Sample one component according to the market shares."""
+        names = [name for name, _ in self.shares]
+        weights = [share for _, share in self.shares]
+        name = rng.choices(names, weights=weights, k=1)[0]
+        return SoftwareComponent(self.kind, name)
+
+
+@dataclass(frozen=True)
+class SyntheticEcosystem:
+    """A collection of component markets, one per kind."""
+
+    markets: Tuple[ComponentMarket, ...]
+
+    def __post_init__(self) -> None:
+        kinds = [market.kind for market in self.markets]
+        if len(set(kinds)) != len(kinds):
+            raise ConfigurationError("duplicate component kind in ecosystem")
+        if not self.markets:
+            raise ConfigurationError("ecosystem needs at least one component market")
+
+    def market_for(self, kind: ComponentKind) -> ComponentMarket:
+        for market in self.markets:
+            if market.kind is kind:
+                return market
+        raise ConfigurationError(f"ecosystem has no market for kind {kind.value!r}")
+
+    def kinds(self) -> Tuple[ComponentKind, ...]:
+        return tuple(market.kind for market in self.markets)
+
+    def sample_configuration(self, rng: random.Random) -> ReplicaConfiguration:
+        """Sample one full replica configuration component-by-component."""
+        return ReplicaConfiguration([market.sample(rng) for market in self.markets])
+
+    def sample_population(
+        self,
+        count: int,
+        *,
+        seed: int = 0,
+        power: Optional[Sequence[float]] = None,
+        attested_fraction: float = 0.0,
+        regime: PowerRegime = PowerRegime.REPLICA_COUNT,
+        prefix: str = "replica",
+    ) -> ReplicaPopulation:
+        """Sample a replica population whose configurations follow the markets.
+
+        Args:
+            count: number of replicas.
+            seed: RNG seed for reproducibility.
+            power: optional per-replica absolute power (defaults to 1 each).
+            attested_fraction: fraction of replicas marked as attested, chosen
+                deterministically as the first ``round(count * fraction)``.
+            regime: power regime recorded on the population.
+            prefix: replica id prefix.
+        """
+        if count <= 0:
+            raise ConfigurationError(f"population count must be positive, got {count}")
+        if power is not None and len(power) != count:
+            raise ConfigurationError(
+                f"got {len(power)} power values for {count} replicas"
+            )
+        if not 0.0 <= attested_fraction <= 1.0:
+            raise ConfigurationError(
+                f"attested fraction must be in [0, 1], got {attested_fraction}"
+            )
+        rng = random.Random(seed)
+        attested_count = round(count * attested_fraction)
+        replicas: List[Replica] = []
+        for index in range(count):
+            replicas.append(
+                Replica(
+                    replica_id=f"{prefix}-{index}",
+                    configuration=self.sample_configuration(rng),
+                    power=1.0 if power is None else float(power[index]),
+                    attested=index < attested_count,
+                )
+            )
+        return ReplicaPopulation(replicas, regime=regime)
+
+    def component_exposure(self) -> Dict[str, float]:
+        """Expected fraction of replicas exposed to each component, by identifier."""
+        exposure: Dict[str, float] = {}
+        for market in self.markets:
+            for name, share in market.normalized_shares().items():
+                exposure[SoftwareComponent(market.kind, name).identifier] = share
+        return exposure
+
+
+def default_ecosystem() -> SyntheticEcosystem:
+    """A moderately diverse ecosystem: realistic Zipf-ish shares per slot."""
+    return SyntheticEcosystem(
+        markets=(
+            ComponentMarket(
+                ComponentKind.OPERATING_SYSTEM,
+                (("linux", 0.78), ("windows-server", 0.13), ("freebsd", 0.06), ("openbsd", 0.03)),
+            ),
+            ComponentMarket(
+                ComponentKind.CONSENSUS_CLIENT,
+                (("client-alpha", 0.66), ("client-beta", 0.24), ("client-gamma", 0.10)),
+            ),
+            ComponentMarket(
+                ComponentKind.WALLET,
+                (("builtin-wallet", 0.55), ("hardware-wallet", 0.25), ("mobile-wallet", 0.20)),
+            ),
+            ComponentMarket(
+                ComponentKind.CRYPTO_LIBRARY,
+                (("openssl", 0.70), ("libsodium", 0.20), ("boringssl", 0.10)),
+            ),
+            ComponentMarket(
+                ComponentKind.TRUSTED_HARDWARE,
+                (("intel-sgx", 0.50), ("tpm-2.0", 0.30), ("arm-trustzone", 0.15), ("amd-psp", 0.05)),
+            ),
+        )
+    )
+
+
+def skewed_ecosystem() -> SyntheticEcosystem:
+    """A monoculture-leaning ecosystem: one component dominates every slot.
+
+    Used to show how low configuration entropy translates into large
+    single-vulnerability compromises.
+    """
+    return SyntheticEcosystem(
+        markets=(
+            ComponentMarket(
+                ComponentKind.OPERATING_SYSTEM,
+                (("linux", 0.95), ("windows-server", 0.04), ("freebsd", 0.01)),
+            ),
+            ComponentMarket(
+                ComponentKind.CONSENSUS_CLIENT,
+                (("client-alpha", 0.92), ("client-beta", 0.08)),
+            ),
+            ComponentMarket(
+                ComponentKind.CRYPTO_LIBRARY,
+                (("openssl", 0.97), ("libsodium", 0.03)),
+            ),
+        )
+    )
+
+
+def diverse_ecosystem() -> SyntheticEcosystem:
+    """An idealized ecosystem with near-uniform market shares per slot."""
+    return SyntheticEcosystem(
+        markets=(
+            ComponentMarket(
+                ComponentKind.OPERATING_SYSTEM,
+                (("linux", 0.25), ("windows-server", 0.25), ("freebsd", 0.25), ("openbsd", 0.25)),
+            ),
+            ComponentMarket(
+                ComponentKind.CONSENSUS_CLIENT,
+                (("client-alpha", 0.34), ("client-beta", 0.33), ("client-gamma", 0.33)),
+            ),
+            ComponentMarket(
+                ComponentKind.CRYPTO_LIBRARY,
+                (("openssl", 0.34), ("libsodium", 0.33), ("boringssl", 0.33)),
+            ),
+        )
+    )

@@ -1,0 +1,29 @@
+"""Diversity management: planners, managers and voting-weight policies.
+
+- :mod:`repro.diversity.planner` -- an entropy-maximizing configuration
+  planner (assigns configurations to replicas under availability constraints).
+- :mod:`repro.diversity.manager` -- a Lazarus-style centralized diversity
+  manager for permissioned deployments (the baseline the paper contrasts
+  permissionless systems against).
+- :mod:`repro.diversity.policy` -- voting-weight policies for permissionless
+  systems, including the paper's concluding two-class (attested /
+  non-attested) proposal.
+- :mod:`repro.diversity.monitor` -- continuous diversity monitoring over an
+  attestation registry with alerting thresholds.
+"""
+
+from repro.diversity.manager import DiversityManager, ManagedDeployment
+from repro.diversity.monitor import DiversityAlert, DiversityMonitor
+from repro.diversity.planner import AssignmentPlan, EntropyPlanner
+from repro.diversity.policy import TwoClassWeightPolicy, WeightedCensus
+
+__all__ = [
+    "AssignmentPlan",
+    "DiversityAlert",
+    "DiversityManager",
+    "DiversityMonitor",
+    "EntropyPlanner",
+    "ManagedDeployment",
+    "TwoClassWeightPolicy",
+    "WeightedCensus",
+]

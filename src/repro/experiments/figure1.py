@@ -1,0 +1,121 @@
+"""Figure 1: best-case entropy of Bitcoin replica diversity.
+
+The paper's Figure 1 plots the Shannon entropy of the Bitcoin mining-power
+distribution under the best-case diversity assumption (every miner has a
+unique configuration), as the unknown residual 0.87% of hash power is spread
+uniformly over 1 to 1000 miners.  The take-away is that the entropy stays
+below 3 bits for every x — i.e. below the entropy of an 8-replica BFT system
+with unique configurations — because the pool oligopoly dominates.
+
+``run_figure1`` regenerates the series; ``main`` prints it (sub-sampled) as a
+text table together with the 3-bit reference line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.analysis.report import Table
+from repro.core.exceptions import ExperimentError
+from repro.datasets.bitcoin_pools import figure1_distribution, figure1_total_miners
+
+#: The reference entropy of an 8-replica unique-configuration BFT system.
+BFT_8_REPLICA_ENTROPY_BITS = 3.0
+
+
+@dataclass(frozen=True)
+class Figure1Point:
+    """One point of the Figure 1 series.
+
+    Attributes:
+        residual_miners: the X-axis value (miners sharing the residual 0.87%).
+        total_miners: total miners in the system (17 pools + residual miners).
+        entropy_bits: Shannon entropy of the best-case configuration
+            distribution, in bits.
+    """
+
+    residual_miners: int
+    total_miners: int
+    entropy_bits: float
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """The regenerated Figure 1 series plus its headline statistics."""
+
+    points: Tuple[Figure1Point, ...]
+    max_entropy_bits: float
+    min_entropy_bits: float
+    always_below_bft8: bool
+
+    def entropy_at(self, residual_miners: int) -> float:
+        """Entropy at a specific X value (raises when not part of the sweep)."""
+        for point in self.points:
+            if point.residual_miners == residual_miners:
+                return point.entropy_bits
+        raise ExperimentError(f"x={residual_miners} was not part of the sweep")
+
+
+def run_figure1(
+    *,
+    min_residual_miners: int = 1,
+    max_residual_miners: int = 1000,
+    step: int = 1,
+) -> Figure1Result:
+    """Regenerate the Figure 1 entropy series.
+
+    Args:
+        min_residual_miners: first X value (the paper uses 1).
+        max_residual_miners: last X value (the paper uses 1000).
+        step: stride through the X range (1 reproduces every paper point).
+    """
+    if min_residual_miners < 1:
+        raise ExperimentError("the residual miner count starts at 1")
+    if max_residual_miners < min_residual_miners:
+        raise ExperimentError("max residual miners must be >= the minimum")
+    if step < 1:
+        raise ExperimentError(f"step must be positive, got {step}")
+    points = []
+    for x in range(min_residual_miners, max_residual_miners + 1, step):
+        distribution = figure1_distribution(x)
+        points.append(
+            Figure1Point(
+                residual_miners=x,
+                total_miners=figure1_total_miners(x),
+                entropy_bits=distribution.entropy(base=2.0),
+            )
+        )
+    entropies = [point.entropy_bits for point in points]
+    return Figure1Result(
+        points=tuple(points),
+        max_entropy_bits=max(entropies),
+        min_entropy_bits=min(entropies),
+        always_below_bft8=all(entropy < BFT_8_REPLICA_ENTROPY_BITS for entropy in entropies),
+    )
+
+
+def figure1_table(result: Figure1Result, *, sample_every: int = 100) -> Table:
+    """A printable sub-sampled view of the series."""
+    if sample_every < 1:
+        raise ExperimentError(f"sample stride must be positive, got {sample_every}")
+    table = Table(headers=("residual miners (x)", "total miners", "entropy (bits)"))
+    for index, point in enumerate(result.points):
+        if index % sample_every == 0 or index == len(result.points) - 1:
+            table.add_row(point.residual_miners, point.total_miners, point.entropy_bits)
+    return table
+
+
+def main(argv: Sequence[str] = ()) -> None:
+    """Regenerate Figure 1 and print the series summary."""
+    result = run_figure1()
+    print("Figure 1 -- best-case entropy of Bitcoin replica diversity")
+    print(figure1_table(result).render())
+    print()
+    print(f"max entropy over the sweep : {result.max_entropy_bits:.4f} bits")
+    print(f"entropy of 8-replica BFT   : {BFT_8_REPLICA_ENTROPY_BITS:.4f} bits")
+    print(f"always below the BFT line  : {result.always_below_bft8}")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    main()

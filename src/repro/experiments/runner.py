@@ -1,0 +1,67 @@
+"""Run every experiment and print every table.
+
+``python -m repro.experiments.runner`` regenerates the full evaluation: the
+paper's Figure 1 and Example 1, the three propositions, and the additional
+analyses listed in DESIGN.md §4.  Individual experiments can also be run via
+their own modules (``python -m repro.experiments.figure1`` and so on).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from repro.experiments import (
+    attestation_coverage,
+    component_exposure,
+    decentralized_pools,
+    diversity_ablation,
+    example1,
+    figure1,
+    prop1,
+    prop2,
+    prop3,
+    protocol_safety,
+    safety_violation,
+    two_class,
+    vulnerability_window,
+)
+
+#: (experiment id, module main) in the order DESIGN.md lists them.
+ALL_EXPERIMENTS: Tuple[Tuple[str, Callable[[], None]], ...] = (
+    ("figure1", figure1.main),
+    ("example1", example1.main),
+    ("proposition1", prop1.main),
+    ("proposition2", prop2.main),
+    ("proposition3", prop3.main),
+    ("safety_violation", safety_violation.main),
+    ("attestation_coverage", attestation_coverage.main),
+    ("two_class", two_class.main),
+    ("protocol_safety", protocol_safety.main),
+    ("diversity_ablation", diversity_ablation.main),
+    ("vulnerability_window", vulnerability_window.main),
+    ("decentralized_pools", decentralized_pools.main),
+    ("component_exposure", component_exposure.main),
+)
+
+
+def run_all(names: Sequence[str] = ()) -> None:
+    """Run the named experiments (all of them when ``names`` is empty)."""
+    wanted = set(names)
+    for name, entry_point in ALL_EXPERIMENTS:
+        if wanted and name not in wanted:
+            continue
+        banner = f"== {name} " + "=" * max(0, 70 - len(name))
+        print(banner)
+        entry_point()
+        print()
+
+
+def main(argv: Sequence[str] = ()) -> None:
+    """Command-line entry point: optional experiment names as arguments."""
+    run_all(tuple(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    import sys
+
+    main(sys.argv[1:])

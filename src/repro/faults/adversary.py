@@ -1,0 +1,191 @@
+"""Adversary strategies.
+
+The paper distinguishes (implicitly, across Sections I, II-B and IV-B) three
+ways an attacker can obtain voting power:
+
+1. **Exploit adversary** — exploits shared vulnerabilities; the power gained
+   is the exposure of the chosen vulnerabilities.  Diversity (entropy) is the
+   defence; configuration abundance does *not* help (Prop. 3's caveat).
+2. **Bribery / rental adversary** — buys or rents power directly (Bonneau's
+   "why buy when you can rent", mining-pool rental); only the economic budget
+   matters, diversity is irrelevant.
+3. **Rational operator adversary** — existing operators turn Byzantine for
+   profit; higher configuration abundance ω helps because one operator only
+   controls its own replicas, not the other replicas sharing its
+   configuration (Prop. 3).
+
+Each strategy exposes ``acquired_power(...)`` returning the voting power the
+adversary ends up controlling, so experiments can compare them on the same
+populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.distribution import ConfigurationDistribution
+from repro.core.exceptions import FaultModelError
+from repro.core.population import ReplicaPopulation
+from repro.faults.campaign import CampaignOutcome, ExploitCampaign
+from repro.faults.catalog import VulnerabilityCatalog
+
+
+@dataclass(frozen=True)
+class AdversaryBudget:
+    """Resource limits for an adversary.
+
+    Attributes:
+        max_vulnerabilities: how many distinct vulnerabilities the attacker
+            can weaponize simultaneously (zero-days are expensive).
+        bribery_power: voting power the attacker can buy or rent outright.
+        colluding_operators: how many existing replica operators the attacker
+            can corrupt or collude with.
+    """
+
+    max_vulnerabilities: int = 1
+    bribery_power: float = 0.0
+    colluding_operators: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_vulnerabilities < 0:
+            raise FaultModelError(
+                f"max vulnerabilities must be non-negative, got {self.max_vulnerabilities}"
+            )
+        if self.bribery_power < 0:
+            raise FaultModelError(
+                f"bribery power must be non-negative, got {self.bribery_power}"
+            )
+        if self.colluding_operators < 0:
+            raise FaultModelError(
+                f"colluding operators must be non-negative, got {self.colluding_operators}"
+            )
+
+
+class ExploitAdversary:
+    """Gains power by exploiting shared vulnerabilities (Section II-B)."""
+
+    def __init__(self, budget: AdversaryBudget, *, seed: int = 0) -> None:
+        self._budget = budget
+        self._seed = seed
+
+    @property
+    def budget(self) -> AdversaryBudget:
+        return self._budget
+
+    def attack(
+        self,
+        population: ReplicaPopulation,
+        catalog: VulnerabilityCatalog,
+        *,
+        time: Optional[float] = None,
+    ) -> CampaignOutcome:
+        """Run the worst-case campaign allowed by the budget."""
+        if self._budget.max_vulnerabilities == 0:
+            raise FaultModelError("exploit adversary has a zero vulnerability budget")
+        campaign = ExploitCampaign(population, catalog, seed=self._seed)
+        return campaign.run_worst_case(
+            max_vulnerabilities=self._budget.max_vulnerabilities, time=time
+        )
+
+    def acquired_power(
+        self,
+        population: ReplicaPopulation,
+        catalog: VulnerabilityCatalog,
+        *,
+        time: Optional[float] = None,
+    ) -> float:
+        """Voting power compromised by the worst-case campaign."""
+        return self.attack(population, catalog, time=time).compromised_power
+
+
+class BriberyAdversary:
+    """Gains power by renting or buying it outright.
+
+    Diversity does not defend against this adversary — the acquired power is
+    simply ``min(bribery_power, total_power)``.  Included so experiments can
+    show which threats entropy does and does not address.
+    """
+
+    def __init__(self, budget: AdversaryBudget) -> None:
+        self._budget = budget
+
+    @property
+    def budget(self) -> AdversaryBudget:
+        return self._budget
+
+    def acquired_power(self, population: ReplicaPopulation) -> float:
+        """Power acquired: capped by what exists in the system."""
+        return min(self._budget.bribery_power, population.total_power())
+
+
+class RationalOperatorAdversary:
+    """A coalition of existing operators turning Byzantine for profit.
+
+    The operators control their own replicas only.  With configuration
+    abundance ω the per-configuration power is split over ω independent
+    operators, so the coalition's reach shrinks as ω grows — the mechanism
+    behind Proposition 3.
+    """
+
+    def __init__(self, budget: AdversaryBudget) -> None:
+        if budget.colluding_operators <= 0:
+            raise FaultModelError(
+                "rational-operator adversary needs at least one colluding operator"
+            )
+        self._budget = budget
+
+    @property
+    def budget(self) -> AdversaryBudget:
+        return self._budget
+
+    def acquired_power(self, population: ReplicaPopulation) -> float:
+        """Power of the largest coalition of ``colluding_operators`` replicas.
+
+        Each replica is assumed to be run by a distinct operator (the
+        population construction controls abundance by how many replicas share
+        each configuration), so the adversary simply takes the top replicas by
+        power.
+        """
+        powers = sorted((replica.power for replica in population), reverse=True)
+        return sum(powers[: self._budget.colluding_operators])
+
+    def acquired_fraction_from_distribution(
+        self,
+        distribution: ConfigurationDistribution,
+        abundance: int,
+    ) -> float:
+        """Coalition power fraction when each configuration is split ω ways.
+
+        Convenience wrapper over the same computation used by
+        :func:`repro.core.propositions.rational_takeover_fraction`.
+        """
+        from repro.core.propositions import rational_takeover_fraction
+
+        return rational_takeover_fraction(
+            distribution, abundance, self._budget.colluding_operators
+        )
+
+
+def compare_adversaries(
+    population: ReplicaPopulation,
+    catalog: VulnerabilityCatalog,
+    budget: AdversaryBudget,
+    *,
+    seed: int = 0,
+) -> Tuple[Tuple[str, float], ...]:
+    """Acquired power of each adversary class against the same population.
+
+    Returns ``(name, power)`` pairs for the exploit, bribery and rational
+    adversaries (the latter two only when the budget enables them).
+    """
+    results = []
+    if budget.max_vulnerabilities > 0 and len(catalog) > 0:
+        exploit = ExploitAdversary(budget, seed=seed)
+        results.append(("exploit", exploit.acquired_power(population, catalog)))
+    if budget.bribery_power > 0:
+        results.append(("bribery", BriberyAdversary(budget).acquired_power(population)))
+    if budget.colluding_operators > 0:
+        rational = RationalOperatorAdversary(budget)
+        results.append(("rational", rational.acquired_power(population)))
+    return tuple(results)

@@ -1,0 +1,205 @@
+"""Exploit campaigns: resolving vulnerabilities against a replica population.
+
+A campaign turns "the attacker exploits vulnerabilities V1..Vm" into the
+quantities the Section II-C safety condition needs: the set of compromised
+replicas, the power compromised through each vulnerability (``f_t^i``) and
+the total compromised power.  Replicas exposed to several exploited
+vulnerabilities are counted once in the total (a replica cannot be "more than
+Byzantine") but appear in every relevant ``f_t^i`` for reporting, mirroring
+the paper's per-vulnerability accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.core.exceptions import FaultModelError
+from repro.core.population import Replica, ReplicaPopulation
+from repro.core.resilience import ProtocolFamily, ResilienceReport, analyze_resilience
+from repro.faults.catalog import VulnerabilityCatalog
+from repro.faults.vulnerability import Vulnerability
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """Result of running an exploit campaign against a population.
+
+    Attributes:
+        exploited: ids of the vulnerabilities the attacker exploited.
+        compromised_replicas: ids of replicas that became Byzantine.
+        compromised_power: total voting power of the compromised replicas
+            (each replica counted once even when multiply exposed).
+        total_power: the population's total voting power ``n_t``.
+        power_per_vulnerability: the per-vulnerability compromised power
+            ``f_t^i`` (a replica exposed to several exploited vulnerabilities
+            contributes to each).
+    """
+
+    exploited: Tuple[str, ...]
+    compromised_replicas: FrozenSet[str]
+    compromised_power: float
+    total_power: float
+    power_per_vulnerability: Tuple[Tuple[str, float], ...]
+
+    @property
+    def compromised_fraction(self) -> float:
+        """Compromised power as a fraction of total power."""
+        if self.total_power <= 0:
+            return 0.0
+        return self.compromised_power / self.total_power
+
+    def violates(self, tolerated_fraction: float) -> bool:
+        """True when the campaign compromises at least ``tolerated_fraction`` of power."""
+        if not 0 < tolerated_fraction <= 1:
+            raise FaultModelError(
+                f"tolerated fraction must be in (0, 1], got {tolerated_fraction}"
+            )
+        return self.compromised_fraction >= tolerated_fraction - 1e-12
+
+
+class ExploitCampaign:
+    """Executes exploit campaigns against a replica population.
+
+    The campaign model follows Section II-B: exploiting vulnerability ``i``
+    makes every exposed replica Byzantine with the vulnerability's
+    ``exploit_probability`` (independently per replica).  With the default
+    probability of 1.0 the campaign is deterministic.
+    """
+
+    def __init__(
+        self,
+        population: ReplicaPopulation,
+        catalog: VulnerabilityCatalog,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self._population = population
+        self._catalog = catalog
+        self._rng = random.Random(seed)
+
+    @property
+    def population(self) -> ReplicaPopulation:
+        return self._population
+
+    @property
+    def catalog(self) -> VulnerabilityCatalog:
+        return self._catalog
+
+    # -- core -------------------------------------------------------------------
+
+    def run(
+        self,
+        vulnerability_ids: Sequence[str],
+        *,
+        time: Optional[float] = None,
+    ) -> CampaignOutcome:
+        """Exploit the given vulnerabilities and report the outcome.
+
+        Args:
+            vulnerability_ids: ids of catalog vulnerabilities to exploit.
+            time: optional simulation time; vulnerabilities not yet disclosed
+                at ``time`` are skipped (they cannot be exploited).
+        """
+        if not vulnerability_ids:
+            raise FaultModelError("a campaign needs at least one vulnerability")
+        exploited: list[str] = []
+        compromised: set[str] = set()
+        per_vulnerability: Dict[str, float] = {}
+        for vuln_id in vulnerability_ids:
+            vulnerability = self._catalog.get(vuln_id)
+            if time is not None and not vulnerability.is_exploitable_at(time):
+                per_vulnerability[vuln_id] = 0.0
+                continue
+            exploited.append(vuln_id)
+            power = 0.0
+            for replica in self._exposed_replicas(vulnerability):
+                if self._exploit_succeeds(vulnerability):
+                    compromised.add(replica.replica_id)
+                    power += replica.power
+            per_vulnerability[vuln_id] = power
+        total_compromised = sum(
+            self._population.power_of(replica_id) for replica_id in compromised
+        )
+        return CampaignOutcome(
+            exploited=tuple(exploited),
+            compromised_replicas=frozenset(compromised),
+            compromised_power=total_compromised,
+            total_power=self._population.total_power(),
+            power_per_vulnerability=tuple(sorted(per_vulnerability.items())),
+        )
+
+    def run_worst_case(
+        self,
+        *,
+        max_vulnerabilities: int = 1,
+        time: Optional[float] = None,
+    ) -> CampaignOutcome:
+        """Exploit the ``max_vulnerabilities`` most damaging vulnerabilities.
+
+        The attacker greedily picks vulnerabilities by exposed power, which is
+        optimal when fault domains are disjoint and a good (and conventional)
+        heuristic otherwise.
+        """
+        if max_vulnerabilities <= 0:
+            raise FaultModelError(
+                f"max vulnerabilities must be positive, got {max_vulnerabilities}"
+            )
+        ranked = self._catalog.most_damaging(
+            self._population, count=max_vulnerabilities, time=time
+        )
+        ids = [vulnerability.vuln_id for vulnerability, _ in ranked]
+        if not ids:
+            raise FaultModelError("the catalog is empty; nothing to exploit")
+        return self.run(ids, time=time)
+
+    def resilience_report(
+        self,
+        outcome: CampaignOutcome,
+        *,
+        family: ProtocolFamily = ProtocolFamily.BFT,
+    ) -> ResilienceReport:
+        """Evaluate the Section II-C safety condition for a campaign outcome."""
+        return analyze_resilience(
+            self._population,
+            dict(outcome.power_per_vulnerability),
+            family=family,
+        )
+
+    def compromised_population(self, outcome: CampaignOutcome) -> ReplicaPopulation:
+        """The sub-population of replicas the campaign compromised."""
+        return self._population.filter(
+            lambda replica: replica.replica_id in outcome.compromised_replicas
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _exposed_replicas(self, vulnerability: Vulnerability) -> Iterable[Replica]:
+        return self._population.replicas_using_component(vulnerability.component)
+
+    def _exploit_succeeds(self, vulnerability: Vulnerability) -> bool:
+        if vulnerability.exploit_probability >= 1.0:
+            return True
+        return self._rng.random() < vulnerability.exploit_probability
+
+
+def single_vulnerability_breakdown(
+    population: ReplicaPopulation,
+    catalog: VulnerabilityCatalog,
+    *,
+    family: ProtocolFamily = ProtocolFamily.BFT,
+) -> Dict[str, bool]:
+    """For every vulnerability, does exploiting it alone violate safety?
+
+    Returns a mapping vulnerability id -> "safety violated".  This is the
+    clearest expression of the paper's core warning: a *single* shared fault
+    can exceed ``f`` when diversity is low.
+    """
+    results: Dict[str, bool] = {}
+    for vulnerability in catalog:
+        campaign = ExploitCampaign(population, catalog)
+        outcome = campaign.run([vulnerability.vuln_id])
+        report = campaign.resilience_report(outcome, family=family)
+        results[vulnerability.vuln_id] = not report.safe
+    return results

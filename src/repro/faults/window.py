@@ -1,0 +1,152 @@
+"""Vulnerability windows: disclosure, patch availability and adoption latency.
+
+Remark 1 of the paper notes that although faults can be detected and patched,
+attacks happen *during the vulnerability window*; reference [14] (the Bitcoin
+Core CVE-2017-18350 disclosure) is the motivating real-world case of a long
+window between introduction, discovery and fleet-wide patching.  This module
+models that window explicitly so experiments can ask "how much voting power is
+exposed at time t" as patches roll out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+from typing import Dict, Iterable, Optional
+
+from repro.core.exceptions import FaultModelError
+from repro.core.population import ReplicaPopulation
+from repro.faults.vulnerability import Vulnerability
+
+
+@unique
+class PatchState(str, Enum):
+    """Lifecycle stages of a vulnerability with respect to one replica."""
+
+    UNDISCLOSED = "undisclosed"  # not yet known to attackers or defenders
+    EXPOSED = "exposed"  # disclosed, no patch applied on this replica
+    PATCHED = "patched"  # the replica has applied the fix
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class VulnerabilityWindow:
+    """The exploitable time window of one vulnerability.
+
+    Attributes:
+        vulnerability: the flaw in question.
+        disclosure_time: when exploitation becomes possible (this mirrors, and
+            must not precede, the vulnerability's own ``disclosed_at``).
+        patch_release_time: when a fix becomes available (``None`` = never).
+        adoption_latency: time a replica takes to apply an available patch
+            (uniform across replicas in this simple model; per-replica jitter
+            can be layered on top by the caller).
+    """
+
+    vulnerability: Vulnerability
+    disclosure_time: float
+    patch_release_time: Optional[float] = None
+    adoption_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.disclosure_time < 0:
+            raise FaultModelError(
+                f"disclosure time must be non-negative, got {self.disclosure_time}"
+            )
+        if self.patch_release_time is not None and self.patch_release_time < self.disclosure_time:
+            raise FaultModelError("patch cannot be released before disclosure")
+        if self.adoption_latency < 0:
+            raise FaultModelError(
+                f"adoption latency must be non-negative, got {self.adoption_latency}"
+            )
+
+    @property
+    def close_time(self) -> Optional[float]:
+        """When the window closes fleet-wide (``None`` when it never closes)."""
+        if self.patch_release_time is None:
+            return None
+        return self.patch_release_time + self.adoption_latency
+
+    def is_open_at(self, time: float) -> bool:
+        """True when the vulnerability is exploitable at ``time``."""
+        if time < self.disclosure_time:
+            return False
+        close = self.close_time
+        return close is None or time < close
+
+    def state_at(self, time: float) -> PatchState:
+        """The fleet-wide patch state at ``time``."""
+        if time < self.disclosure_time:
+            return PatchState.UNDISCLOSED
+        if self.is_open_at(time):
+            return PatchState.EXPOSED
+        return PatchState.PATCHED
+
+    def duration(self) -> Optional[float]:
+        """Length of the exploitable window (``None`` when unbounded)."""
+        close = self.close_time
+        if close is None:
+            return None
+        return max(0.0, close - self.disclosure_time)
+
+
+class WindowSchedule:
+    """A set of vulnerability windows evolving over simulated time."""
+
+    def __init__(self, windows: Iterable[VulnerabilityWindow] = ()) -> None:
+        self._windows: Dict[str, VulnerabilityWindow] = {}
+        for window in windows:
+            self.add(window)
+
+    def add(self, window: VulnerabilityWindow) -> None:
+        """Register a window; one window per vulnerability id."""
+        vuln_id = window.vulnerability.vuln_id
+        if vuln_id in self._windows:
+            raise FaultModelError(f"window for {vuln_id!r} already registered")
+        self._windows[vuln_id] = window
+
+    def window_for(self, vuln_id: str) -> VulnerabilityWindow:
+        try:
+            return self._windows[vuln_id]
+        except KeyError:
+            raise FaultModelError(f"no window registered for {vuln_id!r}") from None
+
+    def open_at(self, time: float) -> tuple:
+        """All windows exploitable at ``time``."""
+        return tuple(
+            window for window in self._windows.values() if window.is_open_at(time)
+        )
+
+    def exposed_power_at(self, population: ReplicaPopulation, time: float) -> Dict[str, float]:
+        """Voting power exposed per vulnerability at ``time``.
+
+        Only windows open at ``time`` contribute; patched (closed) windows and
+        undisclosed vulnerabilities expose no power.
+        """
+        result: Dict[str, float] = {}
+        for vuln_id, window in self._windows.items():
+            if window.is_open_at(time):
+                result[vuln_id] = population.power_using_component(
+                    window.vulnerability.component
+                )
+            else:
+                result[vuln_id] = 0.0
+        return result
+
+    def peak_exposure(
+        self, population: ReplicaPopulation, times: Iterable[float]
+    ) -> float:
+        """The maximum simultaneously-exposed power over the sampled ``times``."""
+        peak = 0.0
+        for time in times:
+            exposed = sum(self.exposed_power_at(population, time).values())
+            peak = max(peak, exposed)
+        return peak
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def __iter__(self):
+        return iter(self._windows.values())

@@ -1,0 +1,70 @@
+"""Blocks of the simulated proof-of-work chain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.exceptions import ProtocolError
+
+#: Identifier of the genesis block.
+GENESIS_ID = "genesis"
+
+
+@dataclass(frozen=True)
+class Block:
+    """One mined block.
+
+    Attributes:
+        block_id: unique identifier (synthetic hash).
+        parent_id: the block this one extends (``None`` only for genesis).
+        height: distance from genesis (genesis has height 0).
+        miner_id: who mined it ("-" for genesis).
+        timestamp: simulated time at which it was mined.
+        is_attacker_block: whether it belongs to an attacker's private chain.
+    """
+
+    block_id: str
+    parent_id: Optional[str]
+    height: int
+    miner_id: str
+    timestamp: float = 0.0
+    is_attacker_block: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.block_id:
+            raise ProtocolError("block id must not be empty")
+        if self.height < 0:
+            raise ProtocolError(f"height must be non-negative, got {self.height}")
+        if self.height == 0 and self.parent_id is not None:
+            raise ProtocolError("only the genesis block may have no parent")
+        if self.height > 0 and not self.parent_id:
+            raise ProtocolError("non-genesis blocks need a parent")
+        if self.timestamp < 0:
+            raise ProtocolError(f"timestamp must be non-negative, got {self.timestamp}")
+
+    @classmethod
+    def genesis(cls) -> "Block":
+        """The canonical genesis block."""
+        return cls(block_id=GENESIS_ID, parent_id=None, height=0, miner_id="-")
+
+    def child(
+        self,
+        block_id: str,
+        miner_id: str,
+        *,
+        timestamp: float = 0.0,
+        is_attacker_block: bool = False,
+    ) -> "Block":
+        """A new block extending this one."""
+        return Block(
+            block_id=block_id,
+            parent_id=self.block_id,
+            height=self.height + 1,
+            miner_id=miner_id,
+            timestamp=timestamp,
+            is_attacker_block=is_attacker_block,
+        )
+
+    def __str__(self) -> str:
+        return f"Block({self.block_id}, h={self.height}, miner={self.miner_id})"

@@ -1,0 +1,149 @@
+"""The block tree and longest-chain fork-choice rule."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.exceptions import ProtocolError
+from repro.nakamoto.block import Block
+
+
+class BlockTree:
+    """All known blocks, organized as a tree rooted at genesis.
+
+    The fork-choice rule is longest chain (greatest height), with ties broken
+    by earliest arrival (insertion order), matching Bitcoin's first-seen
+    behaviour.
+    """
+
+    def __init__(self) -> None:
+        genesis = Block.genesis()
+        self._blocks: Dict[str, Block] = {genesis.block_id: genesis}
+        self._children: Dict[str, List[str]] = {genesis.block_id: []}
+        self._arrival: Dict[str, int] = {genesis.block_id: 0}
+        self._arrival_counter = 1
+        self._genesis_id = genesis.block_id
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add(self, block: Block) -> None:
+        """Insert a block whose parent is already known."""
+        if block.block_id in self._blocks:
+            raise ProtocolError(f"block {block.block_id!r} already in tree")
+        if block.parent_id is None:
+            raise ProtocolError("cannot add a second genesis block")
+        if block.parent_id not in self._blocks:
+            raise ProtocolError(f"unknown parent {block.parent_id!r}")
+        parent = self._blocks[block.parent_id]
+        if block.height != parent.height + 1:
+            raise ProtocolError(
+                f"block height {block.height} does not extend parent height {parent.height}"
+            )
+        self._blocks[block.block_id] = block
+        self._children[block.block_id] = []
+        self._children[block.parent_id].append(block.block_id)
+        self._arrival[block.block_id] = self._arrival_counter
+        self._arrival_counter += 1
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def genesis_id(self) -> str:
+        return self._genesis_id
+
+    def block(self, block_id: str) -> Block:
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise ProtocolError(f"unknown block {block_id!r}") from None
+
+    def contains(self, block_id: str) -> bool:
+        return block_id in self._blocks
+
+    def children_of(self, block_id: str) -> Tuple[str, ...]:
+        return tuple(self._children.get(block_id, ()))
+
+    def tip(self) -> Block:
+        """The head of the canonical (longest) chain."""
+        best = self._blocks[self._genesis_id]
+        for block in self._blocks.values():
+            if block.height > best.height or (
+                block.height == best.height
+                and self._arrival[block.block_id] < self._arrival[best.block_id]
+            ):
+                best = block
+        return best
+
+    def height(self) -> int:
+        """Height of the canonical chain."""
+        return self.tip().height
+
+    def main_chain(self) -> Tuple[Block, ...]:
+        """Blocks of the canonical chain, genesis first."""
+        chain: List[Block] = []
+        current: Optional[Block] = self.tip()
+        while current is not None:
+            chain.append(current)
+            current = (
+                self._blocks[current.parent_id] if current.parent_id is not None else None
+            )
+        return tuple(reversed(chain))
+
+    def main_chain_ids(self) -> Tuple[str, ...]:
+        return tuple(block.block_id for block in self.main_chain())
+
+    def blocks_by_miner(self, *, main_chain_only: bool = True) -> Dict[str, int]:
+        """Number of blocks per miner (excluding genesis)."""
+        source = self.main_chain() if main_chain_only else tuple(self._blocks.values())
+        counts: Dict[str, int] = {}
+        for block in source:
+            if block.height == 0:
+                continue
+            counts[block.miner_id] = counts.get(block.miner_id, 0) + 1
+        return counts
+
+    def fork_count(self) -> int:
+        """Number of blocks not on the canonical chain (stale/orphaned blocks)."""
+        main = set(self.main_chain_ids())
+        return sum(1 for block_id in self._blocks if block_id not in main)
+
+    def common_prefix_with(self, other_tip_id: str) -> Block:
+        """The deepest common ancestor of the canonical tip and ``other_tip_id``."""
+        ancestors = set()
+        current: Optional[Block] = self.tip()
+        while current is not None:
+            ancestors.add(current.block_id)
+            current = (
+                self._blocks[current.parent_id] if current.parent_id is not None else None
+            )
+        cursor = self.block(other_tip_id)
+        while cursor.block_id not in ancestors:
+            if cursor.parent_id is None:
+                break
+            cursor = self.block(cursor.parent_id)
+        return cursor
+
+    def confirmation_depth(self, block_id: str) -> int:
+        """How many canonical blocks (inclusive) build on ``block_id``.
+
+        Returns 0 when the block is not on the canonical chain.
+        """
+        main = self.main_chain_ids()
+        if block_id not in main:
+            return 0
+        index = main.index(block_id)
+        return len(main) - index
+
+    # -- dunder --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks.values())
+
+    def __contains__(self, block_id: str) -> bool:
+        return block_id in self._blocks
+
+    def __repr__(self) -> str:
+        return f"BlockTree(blocks={len(self)}, height={self.height()}, forks={self.fork_count()})"

@@ -1,0 +1,133 @@
+"""Selfish-mining baseline (Eyal & Sirer, FC 2014).
+
+The paper cites selfish mining as the canonical prior work on hash-power
+bounds ("Majority is not enough").  This module provides a compact
+state-machine simulation of the selfish strategy so the reproduction includes
+the baseline the paper positions itself against: selfish mining is about an
+attacker who *owns* its hash power, whereas the paper's concern is an attacker
+who *inherits* honest hash power through shared faults.  Comparing the two on
+the same power fractions makes that distinction concrete.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.exceptions import ProtocolError
+
+
+@dataclass(frozen=True)
+class SelfishMiningResult:
+    """Outcome of a selfish-mining simulation.
+
+    Attributes:
+        alpha: the selfish pool's hash-power fraction.
+        gamma: fraction of honest miners that mine on the selfish block during
+            a tie (the network-visibility parameter of Eyal & Sirer).
+        rounds: number of block-finding events simulated.
+        selfish_blocks: blocks the selfish pool got onto the canonical chain.
+        honest_blocks: canonical blocks mined honestly.
+        relative_revenue: selfish share of canonical blocks; selfish mining is
+            profitable when this exceeds ``alpha``.
+    """
+
+    alpha: float
+    gamma: float
+    rounds: int
+    selfish_blocks: int
+    honest_blocks: int
+
+    @property
+    def relative_revenue(self) -> float:
+        total = self.selfish_blocks + self.honest_blocks
+        if total == 0:
+            return 0.0
+        return self.selfish_blocks / total
+
+    @property
+    def profitable(self) -> bool:
+        """True when the strategy beats honest mining for this ``alpha``."""
+        return self.relative_revenue > self.alpha
+
+
+def selfish_mining_revenue(
+    alpha: float,
+    *,
+    gamma: float = 0.0,
+    rounds: int = 20_000,
+    seed: int = 0,
+) -> SelfishMiningResult:
+    """Simulate the Eyal-Sirer selfish-mining state machine.
+
+    Args:
+        alpha: selfish pool's hash-power fraction (0 < alpha < 0.5).
+        gamma: share of the honest network that mines on the selfish branch
+            during a 1-1 tie.
+        rounds: number of block discoveries to simulate.
+        seed: RNG seed.
+    """
+    if not 0.0 < alpha < 0.5:
+        raise ProtocolError(f"alpha must be in (0, 0.5), got {alpha}")
+    if not 0.0 <= gamma <= 1.0:
+        raise ProtocolError(f"gamma must be in [0, 1], got {gamma}")
+    if rounds <= 0:
+        raise ProtocolError(f"round count must be positive, got {rounds}")
+
+    rng = random.Random(seed)
+    private_lead = 0  # length of the selfish pool's private branch advantage
+    selfish_blocks = 0
+    honest_blocks = 0
+    tie = False  # both branches of length 1 are public
+
+    for _ in range(rounds):
+        selfish_finds = rng.random() < alpha
+        if selfish_finds:
+            if tie:
+                # The pool extends its own branch and wins the race: it
+                # publishes 2 blocks, the honest competing block is orphaned.
+                selfish_blocks += 2
+                tie = False
+                private_lead = 0
+            else:
+                private_lead += 1
+        else:
+            if tie:
+                # An honest miner extends one of the two public branches.
+                if rng.random() < gamma:
+                    # Extends the selfish branch: pool keeps its block.
+                    selfish_blocks += 1
+                    honest_blocks += 1
+                else:
+                    honest_blocks += 2
+                tie = False
+                private_lead = 0
+            elif private_lead == 0:
+                honest_blocks += 1
+            elif private_lead == 1:
+                # Honest network catches up; the pool publishes and a tie starts.
+                tie = True
+                private_lead = 0
+            elif private_lead == 2:
+                # Pool publishes its whole branch and orphans the honest block.
+                selfish_blocks += 2
+                private_lead = 0
+            else:
+                # Lead > 2: the pool reveals one block and keeps mining privately.
+                selfish_blocks += 1
+                private_lead -= 1
+
+    return SelfishMiningResult(
+        alpha=alpha,
+        gamma=gamma,
+        rounds=rounds,
+        selfish_blocks=selfish_blocks,
+        honest_blocks=honest_blocks,
+    )
+
+
+def honest_mining_revenue(alpha: float) -> float:
+    """Expected canonical-chain share of an honest miner with power ``alpha``."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ProtocolError(f"alpha must be in [0, 1], got {alpha}")
+    return alpha

@@ -1,0 +1,26 @@
+"""Permissionless membership: open join/leave, stake delegation and committees.
+
+The paper's system model (Section II-A) is a permissionless environment where
+anyone can join or leave at any time and where voting power may be a committee
+abstraction rather than raw replica counts.  This subpackage provides that
+substrate:
+
+- :mod:`repro.permissionless.churn` -- a reproducible join/leave process over
+  a :class:`~repro.core.population.ReplicaPopulation`.
+- :mod:`repro.permissionless.stake` -- stake accounts with delegation, used to
+  model the exchange-custody oligopoly the paper warns about.
+- :mod:`repro.permissionless.committee` -- power-weighted committee selection
+  (the "membership selection" protocols of reference [15]).
+"""
+
+from repro.permissionless.churn import ChurnModel, ChurnTrace
+from repro.permissionless.committee import Committee, select_committee
+from repro.permissionless.stake import StakeRegistry
+
+__all__ = [
+    "ChurnModel",
+    "ChurnTrace",
+    "Committee",
+    "StakeRegistry",
+    "select_committee",
+]

@@ -1,0 +1,135 @@
+"""Join/leave churn over a replica population.
+
+Permissionless systems have no admission control: the configuration census —
+and therefore the diversity entropy — drifts as participants come and go.
+The :class:`ChurnModel` applies a reproducible stochastic churn process to a
+population and records the entropy trajectory, which is how the experiments
+show that diversity in a permissionless system is a moving target no central
+manager controls (Challenge 1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.configuration import ReplicaConfiguration
+from repro.core.exceptions import MembershipError
+from repro.core.population import Replica, ReplicaPopulation
+from repro.datasets.software_ecosystem import SyntheticEcosystem
+
+
+@dataclass(frozen=True)
+class ChurnTrace:
+    """The observable history of a churn run.
+
+    Attributes:
+        steps: number of churn steps applied.
+        joined: replicas that joined over the run.
+        left: replicas that left over the run.
+        entropy_series: configuration entropy after every step.
+        population_sizes: population size after every step.
+    """
+
+    steps: int
+    joined: int
+    left: int
+    entropy_series: Tuple[float, ...]
+    population_sizes: Tuple[int, ...]
+
+    @property
+    def final_entropy(self) -> float:
+        if not self.entropy_series:
+            raise MembershipError("the churn trace is empty")
+        return self.entropy_series[-1]
+
+    @property
+    def entropy_drift(self) -> float:
+        """Entropy change from the first to the last step."""
+        if not self.entropy_series:
+            raise MembershipError("the churn trace is empty")
+        return self.entropy_series[-1] - self.entropy_series[0]
+
+
+class ChurnModel:
+    """Applies stochastic join/leave events to a population.
+
+    Args:
+        ecosystem: where newly joining replicas draw their configuration from
+            (new joiners follow the ecosystem's market shares — the mechanism
+            by which monocultures self-reinforce).
+        join_rate: probability that a step adds a replica.
+        leave_rate: probability that a step removes a replica.
+        power_sampler: optional callable returning the power of a new replica
+            (defaults to 1.0 each).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        ecosystem: SyntheticEcosystem,
+        *,
+        join_rate: float = 0.5,
+        leave_rate: float = 0.3,
+        power_sampler: Optional[Callable[[random.Random], float]] = None,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= join_rate <= 1.0 or not 0.0 <= leave_rate <= 1.0:
+            raise MembershipError("join and leave rates must be in [0, 1]")
+        self._ecosystem = ecosystem
+        self._join_rate = join_rate
+        self._leave_rate = leave_rate
+        self._power_sampler = power_sampler or (lambda rng: 1.0)
+        self._rng = random.Random(seed)
+        self._join_counter = 0
+
+    def run(
+        self,
+        population: ReplicaPopulation,
+        steps: int,
+        *,
+        min_population: int = 4,
+    ) -> ChurnTrace:
+        """Apply ``steps`` churn steps to ``population`` (mutated in place)."""
+        if steps <= 0:
+            raise MembershipError(f"steps must be positive, got {steps}")
+        if min_population < 1:
+            raise MembershipError(f"min population must be positive, got {min_population}")
+        joined = 0
+        left = 0
+        entropy_series: List[float] = []
+        sizes: List[int] = []
+        for _ in range(steps):
+            if self._rng.random() < self._join_rate:
+                self._join_one(population)
+                joined += 1
+            if len(population) > min_population and self._rng.random() < self._leave_rate:
+                self._leave_one(population)
+                left += 1
+            entropy_series.append(population.entropy())
+            sizes.append(len(population))
+        return ChurnTrace(
+            steps=steps,
+            joined=joined,
+            left=left,
+            entropy_series=tuple(entropy_series),
+            population_sizes=tuple(sizes),
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _join_one(self, population: ReplicaPopulation) -> None:
+        self._join_counter += 1
+        configuration: ReplicaConfiguration = self._ecosystem.sample_configuration(self._rng)
+        replica = Replica(
+            replica_id=f"churn-joiner-{self._join_counter}",
+            configuration=configuration,
+            power=self._power_sampler(self._rng),
+        )
+        population.join(replica)
+
+    def _leave_one(self, population: ReplicaPopulation) -> None:
+        ids: Sequence[str] = population.replica_ids()
+        victim = self._rng.choice(list(ids))
+        population.leave(victim)

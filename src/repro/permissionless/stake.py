@@ -1,0 +1,165 @@
+"""Stake accounts and delegation (the exchange-custody oligopoly).
+
+Section III-A observes that end users often hold their keys at exchanges and
+delegate validation, so a handful of custodians end up wielding a large share
+of the stake — reducing diversity exactly like mining pools do for hash power.
+The :class:`StakeRegistry` models accounts, delegation and the resulting
+*effective* voting-power distribution over validators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.distribution import ConfigurationDistribution
+from repro.core.exceptions import MembershipError
+from repro.core.power import PowerLedger, PowerRegime
+
+
+@dataclass(frozen=True)
+class StakeAccount:
+    """One stake-holding account.
+
+    Attributes:
+        account_id: unique account identifier.
+        stake: the account's own stake.
+        delegate_id: validator/custodian the stake is delegated to (``None``
+            when the account validates for itself).
+    """
+
+    account_id: str
+    stake: float
+    delegate_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.account_id:
+            raise MembershipError("account id must not be empty")
+        if self.stake < 0:
+            raise MembershipError(f"stake must be non-negative, got {self.stake}")
+
+
+class StakeRegistry:
+    """Tracks accounts, delegation and effective validator power."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, StakeAccount] = {}
+
+    # -- mutation --------------------------------------------------------------------
+
+    def open_account(self, account_id: str, stake: float) -> None:
+        """Create an account holding ``stake`` (initially self-validating)."""
+        if account_id in self._accounts:
+            raise MembershipError(f"account {account_id!r} already exists")
+        self._accounts[account_id] = StakeAccount(account_id=account_id, stake=stake)
+
+    def set_stake(self, account_id: str, stake: float) -> None:
+        """Update an account's stake."""
+        account = self._get(account_id)
+        self._accounts[account_id] = StakeAccount(
+            account_id=account_id, stake=stake, delegate_id=account.delegate_id
+        )
+
+    def delegate(self, account_id: str, delegate_id: Optional[str]) -> None:
+        """Delegate an account's stake to ``delegate_id`` (``None`` undelegates).
+
+        Delegating to an account that itself delegates is allowed; effective
+        power resolution follows the chain (with cycle detection).
+        """
+        account = self._get(account_id)
+        if delegate_id == account_id:
+            raise MembershipError("an account cannot delegate to itself")
+        if delegate_id is not None and delegate_id not in self._accounts:
+            raise MembershipError(f"unknown delegate {delegate_id!r}")
+        self._accounts[account_id] = StakeAccount(
+            account_id=account_id, stake=account.stake, delegate_id=delegate_id
+        )
+
+    # -- queries -----------------------------------------------------------------------
+
+    def _get(self, account_id: str) -> StakeAccount:
+        try:
+            return self._accounts[account_id]
+        except KeyError:
+            raise MembershipError(f"unknown account {account_id!r}") from None
+
+    def account(self, account_id: str) -> StakeAccount:
+        """The account record for ``account_id``."""
+        return self._get(account_id)
+
+    def total_stake(self) -> float:
+        """Total stake across all accounts."""
+        return sum(account.stake for account in self._accounts.values())
+
+    def _resolve_validator(self, account_id: str) -> str:
+        """Follow the delegation chain to the account that actually validates."""
+        current = account_id
+        visited = set()
+        while True:
+            if current in visited:
+                raise MembershipError(
+                    f"delegation cycle detected starting from {account_id!r}"
+                )
+            visited.add(current)
+            delegate = self._accounts[current].delegate_id
+            if delegate is None:
+                return current
+            current = delegate
+
+    def effective_power(self) -> Dict[str, float]:
+        """Effective validating power per validator (delegations resolved)."""
+        power: Dict[str, float] = {}
+        for account in self._accounts.values():
+            if account.stake <= 0:
+                continue
+            validator = self._resolve_validator(account.account_id)
+            power[validator] = power.get(validator, 0.0) + account.stake
+        return power
+
+    def power_ledger(self) -> PowerLedger:
+        """Effective validator power as a :class:`PowerLedger`."""
+        power = self.effective_power()
+        if not power:
+            raise MembershipError("no account holds positive stake")
+        return PowerLedger.from_mapping(power, regime=PowerRegime.COMMITTEE_STAKE)
+
+    def validator_distribution(self) -> ConfigurationDistribution:
+        """Effective power as a distribution (one "configuration" per validator).
+
+        This is the best-case diversity view, exactly parallel to treating
+        each mining pool as a unique configuration in Example 1.
+        """
+        power = self.effective_power()
+        if not power:
+            raise MembershipError("no account holds positive stake")
+        return ConfigurationDistribution(power)
+
+    def custodian_concentration(self, count: int) -> float:
+        """Fraction of stake validated by the ``count`` largest validators."""
+        if count < 0:
+            raise MembershipError(f"count must be non-negative, got {count}")
+        power = sorted(self.effective_power().values(), reverse=True)
+        total = sum(power)
+        if total <= 0:
+            return 0.0
+        return sum(power[:count]) / total
+
+    def delegation_fraction(self) -> float:
+        """Fraction of total stake that is delegated away from its owner."""
+        total = self.total_stake()
+        if total <= 0:
+            return 0.0
+        delegated = sum(
+            account.stake
+            for account in self._accounts.values()
+            if account.delegate_id is not None
+        )
+        return delegated / total
+
+    # -- dunder ----------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    def __contains__(self, account_id: str) -> bool:
+        return account_id in self._accounts

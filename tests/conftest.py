@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import ComponentKind, ReplicaConfiguration, SoftwareComponent
+from repro.core.population import Replica, ReplicaPopulation
+from repro.datasets.software_ecosystem import default_ecosystem, skewed_ecosystem
+from repro.faults.catalog import VulnerabilityCatalog
+from repro.faults.vulnerability import Severity, Vulnerability
+
+
+@pytest.fixture
+def linux_alpha_config() -> ReplicaConfiguration:
+    """A concrete configuration used across fault-model tests."""
+    return ReplicaConfiguration.from_names(
+        operating_system="linux",
+        consensus_client="client-alpha",
+        crypto_library="openssl",
+    )
+
+
+@pytest.fixture
+def freebsd_beta_config() -> ReplicaConfiguration:
+    """A second configuration sharing no component with ``linux_alpha_config``."""
+    return ReplicaConfiguration.from_names(
+        operating_system="freebsd",
+        consensus_client="client-beta",
+        crypto_library="libsodium",
+    )
+
+
+@pytest.fixture
+def small_population(linux_alpha_config, freebsd_beta_config) -> ReplicaPopulation:
+    """Four replicas: three on the linux/alpha stack, one on freebsd/beta."""
+    return ReplicaPopulation(
+        [
+            Replica("r0", linux_alpha_config, power=1.0),
+            Replica("r1", linux_alpha_config, power=1.0),
+            Replica("r2", linux_alpha_config, power=1.0),
+            Replica("r3", freebsd_beta_config, power=1.0),
+        ]
+    )
+
+
+@pytest.fixture
+def unique_population() -> ReplicaPopulation:
+    """Eight replicas, each with a unique configuration and equal power."""
+    return ReplicaPopulation.with_unique_configurations(8)
+
+
+@pytest.fixture
+def openssl_vulnerability() -> Vulnerability:
+    """A critical vulnerability in the shared crypto library."""
+    return Vulnerability(
+        vuln_id="CVE-TEST-OPENSSL",
+        component=SoftwareComponent(ComponentKind.CRYPTO_LIBRARY, "openssl", "1.0"),
+        severity=Severity.CRITICAL,
+    )
+
+
+@pytest.fixture
+def linux_vulnerability() -> Vulnerability:
+    """A vulnerability in the dominant operating system."""
+    return Vulnerability(
+        vuln_id="CVE-TEST-LINUX",
+        component=SoftwareComponent(ComponentKind.OPERATING_SYSTEM, "linux", "1.0"),
+        severity=Severity.HIGH,
+    )
+
+
+@pytest.fixture
+def catalog(openssl_vulnerability, linux_vulnerability) -> VulnerabilityCatalog:
+    """A catalog holding the two fixture vulnerabilities."""
+    return VulnerabilityCatalog([openssl_vulnerability, linux_vulnerability])
+
+
+@pytest.fixture
+def ecosystem():
+    """The default synthetic software ecosystem."""
+    return default_ecosystem()
+
+
+@pytest.fixture
+def monoculture_ecosystem():
+    """The skewed, monoculture-leaning ecosystem."""
+    return skewed_ecosystem()

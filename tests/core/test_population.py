@@ -1,0 +1,155 @@
+"""Unit tests for repro.core.population and repro.core.power."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import ComponentKind, ReplicaConfiguration, SoftwareComponent
+from repro.core.exceptions import PopulationError
+from repro.core.population import Replica, ReplicaPopulation
+from repro.core.power import PowerLedger, PowerRegime
+
+
+class TestReplica:
+    def test_rejects_negative_power(self, linux_alpha_config):
+        with pytest.raises(PopulationError):
+            Replica("r", linux_alpha_config, power=-1.0)
+
+    def test_rejects_empty_id(self, linux_alpha_config):
+        with pytest.raises(PopulationError):
+            Replica("", linux_alpha_config)
+
+    def test_with_helpers_return_copies(self, linux_alpha_config, freebsd_beta_config):
+        replica = Replica("r", linux_alpha_config, power=1.0)
+        assert replica.with_power(2.0).power == 2.0
+        assert replica.with_configuration(freebsd_beta_config).configuration == freebsd_beta_config
+        assert replica.with_attested(True).attested
+        # The original is unchanged.
+        assert replica.power == 1.0 and not replica.attested
+
+
+class TestMembership:
+    def test_join_and_leave(self, linux_alpha_config):
+        population = ReplicaPopulation()
+        population.join(Replica("r0", linux_alpha_config))
+        assert "r0" in population
+        removed = population.leave("r0")
+        assert removed.replica_id == "r0"
+        assert len(population) == 0
+
+    def test_duplicate_join_raises(self, linux_alpha_config):
+        population = ReplicaPopulation([Replica("r0", linux_alpha_config)])
+        with pytest.raises(PopulationError):
+            population.join(Replica("r0", linux_alpha_config))
+
+    def test_leave_unknown_raises(self):
+        with pytest.raises(PopulationError):
+            ReplicaPopulation().leave("ghost")
+
+    def test_update_and_get(self, small_population, freebsd_beta_config):
+        small_population.update(small_population.get("r0").with_configuration(freebsd_beta_config))
+        assert small_population.get("r0").configuration == freebsd_beta_config
+
+    def test_filter_and_attested_subpopulations(self, linux_alpha_config):
+        population = ReplicaPopulation(
+            [
+                Replica("a", linux_alpha_config, attested=True),
+                Replica("b", linux_alpha_config, attested=False),
+            ]
+        )
+        assert population.attested_subpopulation().replica_ids() == ("a",)
+        assert population.unattested_subpopulation().replica_ids() == ("b",)
+
+
+class TestPowerAndCensus:
+    def test_total_power(self, small_population):
+        assert small_population.total_power() == pytest.approx(4.0)
+
+    def test_set_power(self, small_population):
+        small_population.set_power("r0", 5.0)
+        assert small_population.power_of("r0") == 5.0
+
+    def test_census_power_weighted(self, small_population):
+        census = small_population.configuration_census()
+        assert census.support_size() == 2
+        assert max(census.probabilities()) == pytest.approx(0.75)
+
+    def test_census_count_weighted_matches_when_equal_power(self, small_population):
+        by_power = small_population.configuration_census(weight_by_power=True)
+        by_count = small_population.configuration_census(weight_by_power=False)
+        assert by_power.entropy() == pytest.approx(by_count.entropy())
+
+    def test_census_differs_when_power_skewed(self, small_population):
+        small_population.set_power("r3", 10.0)
+        by_power = small_population.configuration_census(weight_by_power=True)
+        by_count = small_population.configuration_census(weight_by_power=False)
+        assert by_power.entropy() != pytest.approx(by_count.entropy())
+
+    def test_abundance_vector_counts_replicas(self, small_population):
+        abundance = small_population.abundance_vector()
+        assert abundance.total() == 4
+        assert abundance.support_size() == 2
+
+    def test_empty_census_raises(self):
+        with pytest.raises(PopulationError):
+            ReplicaPopulation().configuration_census()
+
+    def test_unique_population_entropy(self, unique_population):
+        # Example 1's comparison point: 8 unique configurations -> 3 bits.
+        assert unique_population.entropy() == pytest.approx(3.0)
+
+    def test_component_exposure_queries(self, small_population):
+        openssl = SoftwareComponent(ComponentKind.CRYPTO_LIBRARY, "openssl", "1.0")
+        assert len(small_population.replicas_using_component(openssl)) == 3
+        assert small_population.power_using_component(openssl) == pytest.approx(3.0)
+        assert small_population.fraction_using_component(openssl) == pytest.approx(0.75)
+
+    def test_from_power_mapping(self):
+        population = ReplicaPopulation.from_power_mapping({"p1": 60.0, "p2": 40.0})
+        assert population.total_power() == pytest.approx(100.0)
+        assert population.entropy() == pytest.approx(0.9709505944)
+
+    def test_with_unique_configurations_rejects_zero(self):
+        with pytest.raises(PopulationError):
+            ReplicaPopulation.with_unique_configurations(0)
+
+
+class TestPowerLedger:
+    def test_uniform_ledger(self):
+        ledger = PowerLedger.uniform(["a", "b", "c"])
+        assert ledger.total_power() == pytest.approx(3.0)
+        assert ledger.fraction_of("a") == pytest.approx(1 / 3)
+
+    def test_set_add_remove(self):
+        ledger = PowerLedger()
+        ledger.set_power("a", 2.0)
+        ledger.add_power("a", 1.5)
+        assert ledger.power_of("a") == pytest.approx(3.5)
+        ledger.remove("a")
+        assert "a" not in ledger
+
+    def test_add_power_cannot_go_negative(self):
+        ledger = PowerLedger()
+        ledger.set_power("a", 1.0)
+        with pytest.raises(PopulationError):
+            ledger.add_power("a", -2.0)
+
+    def test_shares_are_sorted_descending(self):
+        ledger = PowerLedger.from_mapping({"small": 1.0, "big": 9.0})
+        shares = ledger.shares()
+        assert shares[0].participant_id == "big"
+        assert shares[0].fraction == pytest.approx(0.9)
+
+    def test_concentration(self):
+        ledger = PowerLedger.from_mapping({"a": 50, "b": 30, "c": 20})
+        assert ledger.concentration(2) == pytest.approx(0.8)
+
+    def test_copy_is_independent(self):
+        ledger = PowerLedger.from_mapping({"a": 1.0})
+        clone = ledger.copy()
+        clone.set_power("a", 5.0)
+        assert ledger.power_of("a") == pytest.approx(1.0)
+
+    def test_regime_recorded(self):
+        ledger = PowerLedger.from_mapping({"a": 1.0}, regime=PowerRegime.HASHRATE)
+        assert ledger.regime is PowerRegime.HASHRATE

@@ -1,0 +1,146 @@
+"""Unit tests for repro.core.propositions (Propositions 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.abundance import AbundanceVector
+from repro.core.distribution import ConfigurationDistribution
+from repro.core.exceptions import OptimalityError
+from repro.core.propositions import (
+    check_proposition_1,
+    check_proposition_2,
+    check_proposition_3,
+    message_complexity,
+    proposition_3_holds,
+    rational_takeover_fraction,
+)
+from repro.datasets.bitcoin_pools import figure1_distribution
+
+
+@pytest.fixture
+def kappa_optimal_vector() -> AbundanceVector:
+    return AbundanceVector.uniform(["a", "b", "c", "d"], abundance=3)
+
+
+class TestProposition1:
+    def test_proportional_increase_preserves_entropy(self, kappa_optimal_vector):
+        result = check_proposition_1(kappa_optimal_vector, {"a": 3, "b": 3, "c": 3, "d": 3})
+        assert result.relative_abundance_preserved
+        assert not result.entropy_decreased
+        assert result.entropy_after == pytest.approx(result.entropy_before)
+        assert result.holds
+
+    def test_single_configuration_increase_decreases_entropy(self, kappa_optimal_vector):
+        result = check_proposition_1(kappa_optimal_vector, {"a": 9})
+        assert result.entropy_decreased
+        assert not result.relative_abundance_preserved
+        assert result.holds
+
+    def test_skewed_increase_decreases_entropy(self, kappa_optimal_vector):
+        result = check_proposition_1(kappa_optimal_vector, {"a": 1, "b": 2})
+        assert result.entropy_after < result.entropy_before
+        assert result.holds
+
+    def test_requires_kappa_optimal_baseline(self):
+        skewed = AbundanceVector({"a": 1.0, "b": 5.0})
+        with pytest.raises(OptimalityError):
+            check_proposition_1(skewed, {"a": 1.0})
+
+    def test_rejects_new_configurations(self, kappa_optimal_vector):
+        with pytest.raises(OptimalityError):
+            check_proposition_1(kappa_optimal_vector, {"new-config": 1.0})
+
+    def test_rejects_negative_increments(self, kappa_optimal_vector):
+        with pytest.raises(OptimalityError):
+            check_proposition_1(kappa_optimal_vector, {"a": -1.0})
+
+
+class TestProposition2:
+    def test_uniform_growth_improves_and_holds(self):
+        result = check_proposition_2([0.25] * 4, [0.125] * 8)
+        assert result.resilience_improved
+        assert result.relative_abundances_identical
+        assert result.holds
+
+    def test_oligopoly_growth_does_not_improve(self):
+        before = figure1_distribution(1).probabilities()
+        after = figure1_distribution(1000).probabilities()
+        result = check_proposition_2(list(before), list(after))
+        # The dominant pool's share is untouched by adding small miners.
+        assert result.largest_share_after == pytest.approx(result.largest_share_before)
+        assert not result.resilience_improved
+        assert result.holds
+
+    def test_entropies_are_reported(self):
+        result = check_proposition_2([0.5, 0.5], [0.25] * 4)
+        assert result.entropy_before == pytest.approx(1.0)
+        assert result.entropy_after == pytest.approx(2.0)
+
+    def test_shrinking_system_rejected(self):
+        with pytest.raises(OptimalityError):
+            check_proposition_2([0.25] * 4, [0.5, 0.5])
+
+    def test_non_uniform_improvement_would_violate(self):
+        # A contrived case: growth that shrinks the largest share but stays
+        # non-uniform does NOT satisfy the proposition's escape clause.
+        result = check_proposition_2([0.6, 0.4], [0.3, 0.3, 0.2, 0.2])
+        assert result.resilience_improved
+        assert not result.relative_abundances_identical
+        assert not result.holds
+
+
+class TestProposition3:
+    def test_rational_takeover_shrinks_with_abundance(self):
+        dist = ConfigurationDistribution.uniform_labels(8)
+        fractions = [
+            rational_takeover_fraction(dist, omega, colluding_operators=1)
+            for omega in (1, 2, 4, 8)
+        ]
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[0] == pytest.approx(1 / 8)
+        assert fractions[-1] == pytest.approx(1 / 64)
+
+    def test_coalition_size_increases_takeover(self):
+        dist = ConfigurationDistribution.uniform_labels(8)
+        single = rational_takeover_fraction(dist, 2, colluding_operators=1)
+        coalition = rational_takeover_fraction(dist, 2, colluding_operators=4)
+        assert coalition > single
+
+    def test_takeover_capped_at_one(self):
+        dist = ConfigurationDistribution.uniform_labels(2)
+        assert rational_takeover_fraction(dist, 1, colluding_operators=10) == pytest.approx(1.0)
+
+    def test_exploit_takeover_unchanged_by_abundance(self):
+        dist = ConfigurationDistribution({"a": 0.5, "b": 0.3, "c": 0.2})
+        results = check_proposition_3(dist, [1, 4, 16])
+        assert all(r.max_exploit_takeover == pytest.approx(0.5) for r in results)
+
+    def test_message_complexity_models(self):
+        assert message_complexity(10, model="quadratic") == 100
+        assert message_complexity(10, model="linear") == 10
+        with pytest.raises(OptimalityError):
+            message_complexity(10, model="cubic")
+        with pytest.raises(OptimalityError):
+            message_complexity(0)
+
+    def test_proposition_3_holds_on_uniform_sweep(self):
+        dist = ConfigurationDistribution.uniform_labels(8)
+        results = check_proposition_3(dist, [1, 2, 4, 8], colluding_operators=2)
+        assert proposition_3_holds(results)
+
+    def test_replica_count_scales_with_abundance(self):
+        dist = ConfigurationDistribution.uniform_labels(8)
+        results = check_proposition_3(dist, [1, 3])
+        assert results[0].replica_count == 8
+        assert results[1].replica_count == 24
+
+    def test_rejects_empty_abundances(self):
+        dist = ConfigurationDistribution.uniform_labels(4)
+        with pytest.raises(OptimalityError):
+            check_proposition_3(dist, [])
+
+    def test_rejects_non_positive_abundance(self):
+        dist = ConfigurationDistribution.uniform_labels(4)
+        with pytest.raises(OptimalityError):
+            check_proposition_3(dist, [0])

@@ -1,0 +1,148 @@
+"""Unit tests for repro.core.resilience (the Section II-C safety condition)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import FaultModelError
+from repro.core.population import ReplicaPopulation
+from repro.core.resilience import (
+    ProtocolFamily,
+    SafetyCondition,
+    analyze_resilience,
+    entropy_lower_bounds_takeover,
+    tolerated_fault_fraction,
+    tolerated_faults,
+    worst_case_compromise,
+)
+
+
+class TestToleranceBounds:
+    def test_bft_tolerates_one_third(self):
+        assert tolerated_fault_fraction(ProtocolFamily.BFT) == pytest.approx(1 / 3)
+
+    def test_hybrid_and_nakamoto_tolerate_one_half(self):
+        assert tolerated_fault_fraction(ProtocolFamily.HYBRID) == pytest.approx(0.5)
+        assert tolerated_fault_fraction(ProtocolFamily.NAKAMOTO) == pytest.approx(0.5)
+
+    def test_integer_fault_bounds(self):
+        assert tolerated_faults(4, ProtocolFamily.BFT) == 1
+        assert tolerated_faults(7, ProtocolFamily.BFT) == 2
+        assert tolerated_faults(3, ProtocolFamily.HYBRID) == 1
+        assert tolerated_faults(7, ProtocolFamily.CRASH) == 3
+
+    def test_nakamoto_has_no_integer_bound(self):
+        with pytest.raises(FaultModelError):
+            tolerated_faults(100, ProtocolFamily.NAKAMOTO)
+
+    def test_rejects_non_positive_replicas(self):
+        with pytest.raises(FaultModelError):
+            tolerated_faults(0, ProtocolFamily.BFT)
+
+
+class TestSafetyCondition:
+    def test_replica_count_condition_is_inclusive(self):
+        condition = SafetyCondition.for_replica_count(4, ProtocolFamily.BFT)
+        assert condition.tolerated_power == 1
+        assert condition.is_safe([1.0])  # exactly f faults is still safe
+        assert not condition.is_safe([1.0, 1.0])
+
+    def test_fraction_condition_is_exclusive(self):
+        condition = SafetyCondition.for_family(ProtocolFamily.BFT, total_power=300.0)
+        assert condition.is_safe([99.0])
+        assert not condition.is_safe([100.0])  # exactly one third is unsafe
+        assert not condition.is_safe([150.0])
+
+    def test_multiple_vulnerabilities_sum(self):
+        condition = SafetyCondition.for_family(ProtocolFamily.NAKAMOTO, total_power=100.0)
+        assert condition.is_safe([20.0, 20.0])
+        assert not condition.is_safe([30.0, 25.0])
+
+    def test_margin(self):
+        condition = SafetyCondition.for_replica_count(7, ProtocolFamily.BFT)
+        assert condition.margin([1.0]) == pytest.approx(1.0)
+        assert condition.margin([3.0]) == pytest.approx(-1.0)
+
+    def test_rejects_negative_compromised_power(self):
+        condition = SafetyCondition.for_family(ProtocolFamily.BFT, 10.0)
+        with pytest.raises(FaultModelError):
+            condition.is_safe([-1.0])
+
+    def test_rejects_bad_total_power(self):
+        with pytest.raises(FaultModelError):
+            SafetyCondition(tolerated_power=1.0, total_power=0.0)
+
+    def test_tolerated_fraction_property(self):
+        condition = SafetyCondition.for_family(ProtocolFamily.HYBRID, 200.0)
+        assert condition.tolerated_fraction == pytest.approx(0.5)
+
+
+class TestAnalyzeResilience:
+    def test_safe_report(self, unique_population):
+        report = analyze_resilience(
+            unique_population, {"cve-1": 1.0}, family=ProtocolFamily.BFT
+        )
+        assert report.safe
+        assert report.compromised_fraction == pytest.approx(1 / 8)
+        assert report.margin > 0
+
+    def test_unsafe_report(self, unique_population):
+        report = analyze_resilience(
+            unique_population, {"cve-1": 2.0, "cve-2": 2.0}, family=ProtocolFamily.BFT
+        )
+        assert not report.safe
+        assert report.compromised_power == pytest.approx(4.0)
+
+    def test_per_vulnerability_breakdown_is_sorted(self, unique_population):
+        report = analyze_resilience(unique_population, {"b": 1.0, "a": 2.0})
+        assert [vuln for vuln, _ in report.per_vulnerability] == ["a", "b"]
+
+    def test_total_power_override(self, unique_population):
+        report = analyze_resilience(
+            unique_population, {"cve": 4.0}, family=ProtocolFamily.NAKAMOTO, total_power=100.0
+        )
+        assert report.total_power == pytest.approx(100.0)
+        assert report.safe
+
+
+class TestWorstCaseCompromise:
+    def test_picks_largest_exposures(self):
+        power, chosen = worst_case_compromise(
+            {"small": 1.0, "big": 10.0, "medium": 5.0}, max_vulnerabilities=2
+        )
+        assert power == pytest.approx(15.0)
+        assert chosen == ("big", "medium")
+
+    def test_zero_budget(self):
+        power, chosen = worst_case_compromise({"a": 1.0}, max_vulnerabilities=0)
+        assert power == 0.0
+        assert chosen == ()
+
+    def test_budget_larger_than_catalog(self):
+        power, chosen = worst_case_compromise({"a": 1.0, "b": 2.0}, max_vulnerabilities=10)
+        assert power == pytest.approx(3.0)
+        assert set(chosen) == {"a", "b"}
+
+    def test_deterministic_tie_break(self):
+        _, chosen = worst_case_compromise({"b": 1.0, "a": 1.0}, max_vulnerabilities=1)
+        assert chosen == ("a",)
+
+    def test_rejects_negative_exposure(self):
+        with pytest.raises(FaultModelError):
+            worst_case_compromise({"a": -1.0})
+
+
+class TestEntropyTakeoverLink:
+    def test_dominant_share_threatens_bft(self):
+        assert entropy_lower_bounds_takeover(0.34, 1 / 3)
+        assert not entropy_lower_bounds_takeover(0.30, 1 / 3)
+
+    def test_majority_threshold(self):
+        assert entropy_lower_bounds_takeover(0.51, 0.5)
+        assert not entropy_lower_bounds_takeover(0.49, 0.5)
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(FaultModelError):
+            entropy_lower_bounds_takeover(1.5, 0.5)
+        with pytest.raises(FaultModelError):
+            entropy_lower_bounds_takeover(0.5, 0.0)

@@ -1,0 +1,150 @@
+"""Unit tests for repro.datasets.generators and the synthetic ecosystems."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.configuration import ComponentKind
+from repro.core.exceptions import ConfigurationError, DistributionError
+from repro.datasets.generators import (
+    dirichlet_distribution,
+    geometric_distribution,
+    oligopoly_distribution,
+    perturbed_uniform,
+    power_split,
+    uniform_distribution,
+    zipf_distribution,
+)
+from repro.datasets.software_ecosystem import (
+    default_ecosystem,
+    diverse_ecosystem,
+    skewed_ecosystem,
+)
+
+
+class TestGenerators:
+    def test_uniform_distribution_is_kappa_optimal(self):
+        dist = uniform_distribution(16)
+        assert dist.is_uniform()
+        assert dist.entropy() == pytest.approx(4.0)
+
+    def test_zipf_exponent_zero_is_uniform(self):
+        assert zipf_distribution(8, 0.0).is_uniform()
+
+    def test_zipf_larger_exponent_concentrates_more(self):
+        mild = zipf_distribution(32, 0.5)
+        harsh = zipf_distribution(32, 2.0)
+        assert harsh.entropy() < mild.entropy()
+
+    def test_zipf_rejects_negative_exponent(self):
+        with pytest.raises(DistributionError):
+            zipf_distribution(8, -1.0)
+
+    def test_geometric_distribution_shares_decay(self):
+        dist = geometric_distribution(4, ratio=0.5)
+        probs = list(dist.probabilities())
+        assert probs == sorted(probs, reverse=True)
+
+    def test_geometric_rejects_bad_ratio(self):
+        with pytest.raises(DistributionError):
+            geometric_distribution(4, ratio=0.0)
+
+    def test_dirichlet_is_deterministic_given_seed(self):
+        a = dirichlet_distribution(10, 1.0, rng=random.Random(42))
+        b = dirichlet_distribution(10, 1.0, rng=random.Random(42))
+        assert a == b
+
+    def test_dirichlet_high_concentration_is_more_even(self):
+        sparse = dirichlet_distribution(20, 0.05, rng=random.Random(1))
+        even = dirichlet_distribution(20, 50.0, rng=random.Random(1))
+        assert even.entropy() > sparse.entropy()
+
+    def test_dirichlet_rejects_bad_concentration(self):
+        with pytest.raises(DistributionError):
+            dirichlet_distribution(5, 0.0)
+
+    def test_oligopoly_distribution_shape(self):
+        dist = oligopoly_distribution(10, 0.96, 500)
+        heads = [dist.share(f"config-head-{i}") for i in range(10)]
+        assert sum(heads) == pytest.approx(0.96)
+        assert dist.support_size() == 510
+
+    def test_oligopoly_without_tail_requires_full_share(self):
+        with pytest.raises(DistributionError):
+            oligopoly_distribution(3, 0.9, 0)
+        assert oligopoly_distribution(3, 1.0, 0).support_size() == 3
+
+    def test_perturbed_uniform_stays_close_to_uniform(self):
+        dist = perturbed_uniform(16, 0.05, rng=random.Random(3))
+        assert dist.entropy() > 3.9
+
+    def test_perturbed_uniform_rejects_large_noise(self):
+        with pytest.raises(DistributionError):
+            perturbed_uniform(4, 1.0)
+
+    def test_power_split(self):
+        split = power_split(100.0, [3, 1])
+        assert split["participant-0"] == pytest.approx(75.0)
+        assert sum(split.values()) == pytest.approx(100.0)
+
+    def test_power_split_rejects_bad_inputs(self):
+        with pytest.raises(DistributionError):
+            power_split(0.0, [1])
+        with pytest.raises(DistributionError):
+            power_split(10.0, [])
+        with pytest.raises(DistributionError):
+            power_split(10.0, [-1.0])
+
+    def test_zero_count_rejected_everywhere(self):
+        with pytest.raises(DistributionError):
+            uniform_distribution(0)
+
+
+class TestSyntheticEcosystems:
+    def test_default_ecosystem_sampling_is_deterministic(self):
+        ecosystem = default_ecosystem()
+        a = ecosystem.sample_population(50, seed=5)
+        b = ecosystem.sample_population(50, seed=5)
+        assert a.configuration_census() == b.configuration_census()
+
+    def test_skewed_ecosystem_has_lower_entropy(self):
+        diverse_pop = diverse_ecosystem().sample_population(300, seed=1)
+        skewed_pop = skewed_ecosystem().sample_population(300, seed=1)
+        assert skewed_pop.entropy() < diverse_pop.entropy()
+
+    def test_sampled_configurations_use_known_components(self):
+        ecosystem = default_ecosystem()
+        population = ecosystem.sample_population(20, seed=2)
+        os_names = {
+            replica.configuration.component(ComponentKind.OPERATING_SYSTEM).name
+            for replica in population
+        }
+        market_names = {
+            name for name, _ in ecosystem.market_for(ComponentKind.OPERATING_SYSTEM).shares
+        }
+        assert os_names <= market_names
+
+    def test_attested_fraction_is_respected(self):
+        population = default_ecosystem().sample_population(100, seed=3, attested_fraction=0.3)
+        attested = sum(1 for replica in population if replica.attested)
+        assert attested == 30
+
+    def test_explicit_power_assignment(self):
+        population = default_ecosystem().sample_population(
+            3, seed=4, power=[5.0, 3.0, 2.0]
+        )
+        assert population.total_power() == pytest.approx(10.0)
+
+    def test_power_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_ecosystem().sample_population(3, power=[1.0])
+
+    def test_component_exposure_fractions(self):
+        exposure = default_ecosystem().component_exposure()
+        assert exposure["operating_system:linux:1.0"] == pytest.approx(0.78)
+
+    def test_market_for_unknown_kind_raises(self):
+        with pytest.raises(ConfigurationError):
+            skewed_ecosystem().market_for(ComponentKind.WALLET)

@@ -1,0 +1,74 @@
+"""Integration tests for the extension experiments (window, decentralized pools)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ExperimentError
+from repro.experiments.decentralized_pools import (
+    decentralization_table,
+    run_decentralized_pools,
+)
+from repro.experiments.vulnerability_window import run_vulnerability_window, window_table
+
+
+class TestVulnerabilityWindowExperiment:
+    def test_both_levers_shrink_the_window(self):
+        result = run_vulnerability_window(
+            population_size=30,
+            adoption_latencies=(20.0, 5.0, 1.0),
+            recovery_periods=(4.0, 1.0),
+            horizon=120.0,
+        )
+        assert result.patching_faster_is_better
+        assert result.recovery_faster_is_better
+        assert result.compromised_fraction > 1 / 3  # the zero-day matters
+
+    def test_peak_is_independent_of_patch_speed(self):
+        result = run_vulnerability_window(
+            population_size=30, adoption_latencies=(20.0, 1.0), recovery_periods=(1.0,)
+        )
+        patch_rows = [row for row in result.rows if row.mechanism == "patch rollout"]
+        assert patch_rows[0].peak_exposed_fraction == pytest.approx(
+            patch_rows[1].peak_exposed_fraction
+        )
+
+    def test_table_rendering(self):
+        result = run_vulnerability_window(
+            population_size=20, adoption_latencies=(5.0,), recovery_periods=(1.0,)
+        )
+        assert "exposure area" in window_table(result).render()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ExperimentError):
+            run_vulnerability_window(population_size=2)
+        with pytest.raises(ExperimentError):
+            run_vulnerability_window(adoption_latencies=())
+
+
+class TestDecentralizedPoolsExperiment:
+    def test_entropy_grows_and_takeover_shrinks(self):
+        result = run_decentralized_pools(members_per_pool=10, steps=(0, 3, 17))
+        assert result.entropy_is_monotone
+        rows = result.rows
+        assert rows[0].entropy_bits < 3.0
+        assert rows[-1].entropy_bits > 5.0
+        assert rows[-1].coalition_takeover < rows[0].coalition_takeover
+        assert rows[-1].largest_fault_domain < rows[0].largest_fault_domain
+
+    def test_baseline_row_matches_figure1_shape(self):
+        result = run_decentralized_pools(residual_miners=101, steps=(0,))
+        assert result.rows[0].effective_replicas == 118
+        assert 2.8 < result.rows[0].entropy_bits < 3.0
+
+    def test_table_rendering(self):
+        result = run_decentralized_pools(steps=(0, 17))
+        assert "decentralized pools" in decentralization_table(result).render()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ExperimentError):
+            run_decentralized_pools(members_per_pool=0)
+        with pytest.raises(ExperimentError):
+            run_decentralized_pools(steps=(18,))
+        with pytest.raises(ExperimentError):
+            run_decentralized_pools(coalition_size=0)

@@ -1,0 +1,221 @@
+"""Unit tests for exploit campaigns, adversaries, windows and fault schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import ComponentKind
+from repro.core.exceptions import FaultModelError
+from repro.core.resilience import ProtocolFamily
+from repro.faults.adversary import (
+    AdversaryBudget,
+    BriberyAdversary,
+    ExploitAdversary,
+    RationalOperatorAdversary,
+    compare_adversaries,
+)
+from repro.faults.campaign import ExploitCampaign, single_vulnerability_breakdown
+from repro.faults.catalog import VulnerabilityCatalog
+from repro.faults.injection import FaultKind, FaultSchedule, FaultSpec
+from repro.faults.vulnerability import make_vulnerability
+from repro.faults.window import PatchState, VulnerabilityWindow, WindowSchedule
+
+
+class TestExploitCampaign:
+    def test_single_vulnerability_compromises_exposed_replicas(
+        self, small_population, catalog
+    ):
+        campaign = ExploitCampaign(small_population, catalog)
+        outcome = campaign.run(["CVE-TEST-OPENSSL"])
+        assert outcome.compromised_replicas == frozenset({"r0", "r1", "r2"})
+        assert outcome.compromised_power == pytest.approx(3.0)
+        assert outcome.compromised_fraction == pytest.approx(0.75)
+
+    def test_overlapping_vulnerabilities_count_power_once(self, small_population, catalog):
+        campaign = ExploitCampaign(small_population, catalog)
+        outcome = campaign.run(["CVE-TEST-OPENSSL", "CVE-TEST-LINUX"])
+        # Both vulnerabilities hit the same three replicas.
+        assert outcome.compromised_power == pytest.approx(3.0)
+        per_vuln = dict(outcome.power_per_vulnerability)
+        assert per_vuln["CVE-TEST-OPENSSL"] == pytest.approx(3.0)
+        assert per_vuln["CVE-TEST-LINUX"] == pytest.approx(3.0)
+
+    def test_undisclosed_vulnerability_is_skipped(self, small_population):
+        catalog = VulnerabilityCatalog(
+            [make_vulnerability(ComponentKind.OPERATING_SYSTEM, "linux", disclosed_at=50.0)]
+        )
+        campaign = ExploitCampaign(small_population, catalog)
+        outcome = campaign.run(catalog.ids(), time=0.0)
+        assert outcome.compromised_power == 0.0
+
+    def test_worst_case_targets_biggest_exposure(self, small_population, catalog):
+        campaign = ExploitCampaign(small_population, catalog)
+        outcome = campaign.run_worst_case(max_vulnerabilities=1)
+        assert outcome.compromised_power == pytest.approx(3.0)
+
+    def test_resilience_report_integration(self, small_population, catalog):
+        campaign = ExploitCampaign(small_population, catalog)
+        outcome = campaign.run(["CVE-TEST-OPENSSL"])
+        report = campaign.resilience_report(outcome, family=ProtocolFamily.BFT)
+        assert not report.safe  # 75% of power compromised
+
+    def test_violates_threshold(self, small_population, catalog):
+        campaign = ExploitCampaign(small_population, catalog)
+        outcome = campaign.run(["CVE-TEST-OPENSSL"])
+        assert outcome.violates(1 / 3)
+        assert outcome.violates(0.75)
+        assert not outcome.violates(0.76)
+
+    def test_unreliable_exploit_is_seeded(self, small_population):
+        catalog = VulnerabilityCatalog(
+            [
+                make_vulnerability(
+                    ComponentKind.OPERATING_SYSTEM, "linux", exploit_probability=0.5
+                )
+            ]
+        )
+        first = ExploitCampaign(small_population, catalog, seed=3).run(catalog.ids())
+        second = ExploitCampaign(small_population, catalog, seed=3).run(catalog.ids())
+        assert first.compromised_replicas == second.compromised_replicas
+
+    def test_empty_campaign_rejected(self, small_population, catalog):
+        with pytest.raises(FaultModelError):
+            ExploitCampaign(small_population, catalog).run([])
+
+    def test_single_vulnerability_breakdown(self, small_population, catalog):
+        verdicts = single_vulnerability_breakdown(
+            small_population, catalog, family=ProtocolFamily.BFT
+        )
+        assert verdicts["CVE-TEST-OPENSSL"] is True
+        assert verdicts["CVE-TEST-LINUX"] is True
+
+    def test_diverse_population_survives_single_vulnerability(self, unique_population):
+        catalog = VulnerabilityCatalog.for_population(unique_population)
+        verdicts = single_vulnerability_breakdown(unique_population, catalog)
+        assert not any(verdicts.values())
+
+
+class TestAdversaries:
+    def test_exploit_adversary_uses_budget(self, small_population, catalog):
+        adversary = ExploitAdversary(AdversaryBudget(max_vulnerabilities=1))
+        assert adversary.acquired_power(small_population, catalog) == pytest.approx(3.0)
+
+    def test_exploit_adversary_zero_budget_rejected(self, small_population, catalog):
+        adversary = ExploitAdversary(AdversaryBudget(max_vulnerabilities=0))
+        with pytest.raises(FaultModelError):
+            adversary.attack(small_population, catalog)
+
+    def test_bribery_adversary_capped_by_total_power(self, small_population):
+        adversary = BriberyAdversary(AdversaryBudget(bribery_power=100.0))
+        assert adversary.acquired_power(small_population) == pytest.approx(4.0)
+
+    def test_rational_adversary_takes_largest_operators(self, small_population):
+        small_population.set_power("r3", 10.0)
+        adversary = RationalOperatorAdversary(AdversaryBudget(colluding_operators=1))
+        assert adversary.acquired_power(small_population) == pytest.approx(10.0)
+
+    def test_rational_adversary_needs_operators(self):
+        with pytest.raises(FaultModelError):
+            RationalOperatorAdversary(AdversaryBudget(colluding_operators=0))
+
+    def test_compare_adversaries(self, small_population, catalog):
+        budget = AdversaryBudget(max_vulnerabilities=1, bribery_power=1.5, colluding_operators=2)
+        results = dict(compare_adversaries(small_population, catalog, budget))
+        assert results["exploit"] == pytest.approx(3.0)
+        assert results["bribery"] == pytest.approx(1.5)
+        assert results["rational"] == pytest.approx(2.0)
+
+    def test_budget_validation(self):
+        with pytest.raises(FaultModelError):
+            AdversaryBudget(max_vulnerabilities=-1)
+        with pytest.raises(FaultModelError):
+            AdversaryBudget(bribery_power=-0.1)
+
+
+class TestVulnerabilityWindows:
+    def test_window_lifecycle(self, openssl_vulnerability):
+        window = VulnerabilityWindow(
+            vulnerability=openssl_vulnerability,
+            disclosure_time=10.0,
+            patch_release_time=20.0,
+            adoption_latency=5.0,
+        )
+        assert window.state_at(5.0) is PatchState.UNDISCLOSED
+        assert window.state_at(15.0) is PatchState.EXPOSED
+        assert window.state_at(24.9) is PatchState.EXPOSED
+        assert window.state_at(25.0) is PatchState.PATCHED
+        assert window.duration() == pytest.approx(15.0)
+
+    def test_window_without_patch_never_closes(self, openssl_vulnerability):
+        window = VulnerabilityWindow(openssl_vulnerability, disclosure_time=0.0)
+        assert window.is_open_at(1e9)
+        assert window.duration() is None
+
+    def test_patch_before_disclosure_rejected(self, openssl_vulnerability):
+        with pytest.raises(FaultModelError):
+            VulnerabilityWindow(
+                openssl_vulnerability, disclosure_time=10.0, patch_release_time=5.0
+            )
+
+    def test_schedule_exposed_power(self, small_population, openssl_vulnerability):
+        schedule = WindowSchedule(
+            [
+                VulnerabilityWindow(
+                    openssl_vulnerability,
+                    disclosure_time=0.0,
+                    patch_release_time=10.0,
+                    adoption_latency=0.0,
+                )
+            ]
+        )
+        assert schedule.exposed_power_at(small_population, 5.0)[
+            "CVE-TEST-OPENSSL"
+        ] == pytest.approx(3.0)
+        assert schedule.exposed_power_at(small_population, 15.0)[
+            "CVE-TEST-OPENSSL"
+        ] == pytest.approx(0.0)
+        assert schedule.peak_exposure(small_population, [0.0, 5.0, 15.0]) == pytest.approx(3.0)
+
+    def test_schedule_rejects_duplicates(self, openssl_vulnerability):
+        schedule = WindowSchedule()
+        schedule.add(VulnerabilityWindow(openssl_vulnerability, disclosure_time=0.0))
+        with pytest.raises(FaultModelError):
+            schedule.add(VulnerabilityWindow(openssl_vulnerability, disclosure_time=1.0))
+
+
+class TestFaultSchedules:
+    def test_byzantine_schedule(self):
+        schedule = FaultSchedule.byzantine(["a", "b"])
+        assert schedule.is_faulty_at("a", 0.0)
+        assert schedule.kind_at("b", 0.0) is FaultKind.BYZANTINE
+        assert not schedule.is_faulty_at("c", 0.0)
+        assert len(schedule) == 2
+
+    def test_fault_activation_window(self):
+        spec = FaultSpec(replica_id="x", start_time=5.0, end_time=10.0)
+        schedule = FaultSchedule([spec])
+        assert not schedule.is_faulty_at("x", 4.0)
+        assert schedule.is_faulty_at("x", 5.0)
+        assert not schedule.is_faulty_at("x", 10.0)
+
+    def test_from_campaign(self, small_population, catalog):
+        campaign = ExploitCampaign(small_population, catalog)
+        outcome = campaign.run(["CVE-TEST-OPENSSL"])
+        schedule = FaultSchedule.from_campaign(outcome)
+        assert set(schedule.faulty_ids_at(0.0)) == {"r0", "r1", "r2"}
+        assert schedule.faulty_power_at(small_population, 0.0) == pytest.approx(3.0)
+
+    def test_duplicate_replica_rejected(self):
+        schedule = FaultSchedule.byzantine(["a"])
+        with pytest.raises(FaultModelError):
+            schedule.add(FaultSpec(replica_id="a"))
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(FaultModelError):
+            FaultSpec(replica_id="", start_time=0.0)
+        with pytest.raises(FaultModelError):
+            FaultSpec(replica_id="x", start_time=5.0, end_time=1.0)
+
+    def test_crash_schedule(self):
+        schedule = FaultSchedule.crashed(["a"])
+        assert schedule.kind_at("a", 0.0) is FaultKind.CRASH

@@ -1,0 +1,147 @@
+"""Tests for patch rollout and proactive recovery (vulnerability windows)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import FaultModelError
+from repro.faults.recovery import ExposureTimeline, PatchRollout, ProactiveRecoveryPolicy
+
+
+class TestExposureTimeline:
+    def _timeline(self) -> ExposureTimeline:
+        return ExposureTimeline(
+            times=(0.0, 1.0, 2.0, 3.0),
+            exposed_power=(4.0, 4.0, 2.0, 0.0),
+            total_power=4.0,
+        )
+
+    def test_peak_fraction(self):
+        assert self._timeline().peak_fraction() == pytest.approx(1.0)
+
+    def test_exposure_area_trapezoidal(self):
+        # Areas: 1*4 + 1*3 + 1*1 = 8 power-time units -> /4 total power = 2.0
+        assert self._timeline().exposure_area() == pytest.approx(2.0)
+
+    def test_time_above_fraction(self):
+        timeline = self._timeline()
+        assert timeline.time_above_fraction(0.9) == pytest.approx(2.0)
+        assert timeline.time_above_fraction(0.4) == pytest.approx(3.0)
+        with pytest.raises(FaultModelError):
+            timeline.time_above_fraction(1.5)
+
+    def test_degenerate_timeline(self):
+        single = ExposureTimeline(times=(0.0,), exposed_power=(1.0,), total_power=1.0)
+        assert single.exposure_area() == 0.0
+        assert single.time_above_fraction(0.5) == 0.0
+
+
+class TestPatchRollout:
+    def test_only_exposed_replicas_are_tracked(self, small_population, openssl_vulnerability):
+        rollout = PatchRollout(small_population, openssl_vulnerability, seed=1)
+        assert set(rollout.exposed_replica_ids) == {"r0", "r1", "r2"}
+        assert rollout.adoption_time_of("r3") is None
+
+    def test_exposure_shrinks_to_zero(self, small_population, openssl_vulnerability):
+        rollout = PatchRollout(
+            small_population, openssl_vulnerability, mean_adoption_latency=5.0, seed=2
+        )
+        assert rollout.exposed_power_at(0.0) == pytest.approx(3.0)
+        assert rollout.exposed_power_at(rollout.all_patched_time() + 1.0) == 0.0
+
+    def test_zero_latency_patches_immediately(self, small_population, openssl_vulnerability):
+        rollout = PatchRollout(
+            small_population, openssl_vulnerability, mean_adoption_latency=0.0
+        )
+        assert rollout.exposed_power_at(1e-9) == 0.0
+
+    def test_before_disclosure_nothing_is_exposed(self, small_population, openssl_vulnerability):
+        rollout = PatchRollout(
+            small_population,
+            openssl_vulnerability,
+            disclosure_time=10.0,
+            patch_release_time=10.0,
+            seed=3,
+        )
+        assert rollout.exposed_power_at(5.0) == 0.0
+
+    def test_faster_rollout_has_smaller_exposure_area(
+        self, small_population, openssl_vulnerability
+    ):
+        slow = PatchRollout(
+            small_population, openssl_vulnerability, mean_adoption_latency=20.0, seed=4
+        ).timeline(horizon=200.0)
+        fast = PatchRollout(
+            small_population, openssl_vulnerability, mean_adoption_latency=2.0, seed=4
+        ).timeline(horizon=200.0)
+        assert fast.exposure_area() < slow.exposure_area()
+
+    def test_deterministic_given_seed(self, small_population, openssl_vulnerability):
+        a = PatchRollout(small_population, openssl_vulnerability, seed=9)
+        b = PatchRollout(small_population, openssl_vulnerability, seed=9)
+        assert [a.adoption_time_of(r) for r in a.exposed_replica_ids] == [
+            b.adoption_time_of(r) for r in b.exposed_replica_ids
+        ]
+
+    def test_invalid_parameters(self, small_population, openssl_vulnerability):
+        with pytest.raises(FaultModelError):
+            PatchRollout(
+                small_population,
+                openssl_vulnerability,
+                disclosure_time=10.0,
+                patch_release_time=5.0,
+            )
+        with pytest.raises(FaultModelError):
+            PatchRollout(
+                small_population, openssl_vulnerability, mean_adoption_latency=-1.0
+            )
+        with pytest.raises(FaultModelError):
+            PatchRollout(small_population, openssl_vulnerability).timeline(samples=1)
+
+
+class TestProactiveRecovery:
+    def test_rotation_length(self, unique_population):
+        policy = ProactiveRecoveryPolicy(unique_population, recovery_period=2.0)
+        assert policy.rotation_length == pytest.approx(16.0)
+
+    def test_next_recovery_is_periodic(self, unique_population):
+        policy = ProactiveRecoveryPolicy(unique_population, recovery_period=1.0)
+        first = policy.next_recovery_after("replica-3", 0.0)
+        assert first == pytest.approx(3.0)
+        later = policy.next_recovery_after("replica-3", 4.0)
+        assert later == pytest.approx(3.0 + policy.rotation_length)
+
+    def test_compromised_power_decreases_over_time(self, unique_population):
+        policy = ProactiveRecoveryPolicy(unique_population, recovery_period=1.0)
+        compromised = ["replica-0", "replica-1", "replica-2"]
+        start = policy.compromised_power_at(compromised, 0.0, 0.0)
+        later = policy.compromised_power_at(compromised, 0.0, 2.5)
+        end = policy.compromised_power_at(compromised, 0.0, policy.rotation_length + 1.0)
+        assert start == pytest.approx(3.0)
+        assert later < start
+        assert end == 0.0
+
+    def test_timeline_bounded_by_rotation(self, unique_population):
+        policy = ProactiveRecoveryPolicy(unique_population, recovery_period=0.5)
+        timeline = policy.timeline(["replica-0", "replica-7"])
+        assert timeline.peak_fraction() == pytest.approx(2.0 / 8.0)
+        assert timeline.exposed_power[-1] == 0.0
+
+    def test_shorter_period_means_smaller_area(self, unique_population):
+        compromised = ["replica-0", "replica-4", "replica-7"]
+        slow = ProactiveRecoveryPolicy(unique_population, recovery_period=4.0).timeline(
+            compromised, horizon=64.0
+        )
+        fast = ProactiveRecoveryPolicy(unique_population, recovery_period=0.5).timeline(
+            compromised, horizon=64.0
+        )
+        assert fast.exposure_area() < slow.exposure_area()
+
+    def test_unknown_replica_rejected(self, unique_population):
+        policy = ProactiveRecoveryPolicy(unique_population)
+        with pytest.raises(FaultModelError):
+            policy.next_recovery_after("ghost", 0.0)
+
+    def test_invalid_period_rejected(self, unique_population):
+        with pytest.raises(FaultModelError):
+            ProactiveRecoveryPolicy(unique_population, recovery_period=0.0)

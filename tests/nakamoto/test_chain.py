@@ -1,0 +1,124 @@
+"""Unit tests for blocks, the block tree and the longest-chain rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ProtocolError
+from repro.nakamoto.block import Block
+from repro.nakamoto.chain import BlockTree
+
+
+class TestBlock:
+    def test_genesis(self):
+        genesis = Block.genesis()
+        assert genesis.height == 0
+        assert genesis.parent_id is None
+
+    def test_child_links_to_parent(self):
+        genesis = Block.genesis()
+        child = genesis.child("b1", "miner-a", timestamp=10.0)
+        assert child.parent_id == genesis.block_id
+        assert child.height == 1
+        assert child.miner_id == "miner-a"
+
+    def test_non_genesis_needs_parent(self):
+        with pytest.raises(ProtocolError):
+            Block(block_id="x", parent_id=None, height=1, miner_id="m")
+
+    def test_second_genesis_rejected(self):
+        with pytest.raises(ProtocolError):
+            Block(block_id="x", parent_id="something", height=0, miner_id="m")
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ProtocolError):
+            Block(block_id="x", parent_id="genesis", height=1, miner_id="m", timestamp=-1.0)
+
+
+class TestBlockTree:
+    def _linear_chain(self, length: int) -> BlockTree:
+        tree = BlockTree()
+        tip = tree.block(tree.genesis_id)
+        for index in range(length):
+            block = tip.child(f"b{index}", f"miner-{index % 2}")
+            tree.add(block)
+            tip = block
+        return tree
+
+    def test_linear_chain_height(self):
+        tree = self._linear_chain(5)
+        assert tree.height() == 5
+        assert tree.tip().block_id == "b4"
+        assert len(tree.main_chain()) == 6  # genesis + 5
+
+    def test_fork_choice_prefers_longer_branch(self):
+        tree = BlockTree()
+        genesis = tree.block(tree.genesis_id)
+        a1 = genesis.child("a1", "alice")
+        tree.add(a1)
+        b1 = genesis.child("b1", "bob")
+        tree.add(b1)
+        b2 = b1.child("b2", "bob")
+        tree.add(b2)
+        assert tree.tip().block_id == "b2"
+        assert tree.fork_count() == 1  # a1 is orphaned
+
+    def test_tie_breaks_by_first_seen(self):
+        tree = BlockTree()
+        genesis = tree.block(tree.genesis_id)
+        tree.add(genesis.child("first", "alice"))
+        tree.add(genesis.child("second", "bob"))
+        assert tree.tip().block_id == "first"
+
+    def test_blocks_by_miner_counts_main_chain_only(self):
+        tree = BlockTree()
+        genesis = tree.block(tree.genesis_id)
+        a1 = genesis.child("a1", "alice")
+        tree.add(a1)
+        tree.add(genesis.child("o1", "orphan-miner"))
+        a2 = a1.child("a2", "alice")
+        tree.add(a2)
+        counts = tree.blocks_by_miner()
+        assert counts == {"alice": 2}
+        assert tree.blocks_by_miner(main_chain_only=False)["orphan-miner"] == 1
+
+    def test_duplicate_block_rejected(self):
+        tree = self._linear_chain(1)
+        with pytest.raises(ProtocolError):
+            tree.add(tree.block(tree.genesis_id).child("b0", "x"))
+
+    def test_unknown_parent_rejected(self):
+        tree = BlockTree()
+        with pytest.raises(ProtocolError):
+            tree.add(Block(block_id="x", parent_id="ghost", height=1, miner_id="m"))
+
+    def test_height_must_extend_parent(self):
+        tree = BlockTree()
+        with pytest.raises(ProtocolError):
+            tree.add(Block(block_id="x", parent_id=tree.genesis_id, height=5, miner_id="m"))
+
+    def test_common_prefix(self):
+        tree = BlockTree()
+        genesis = tree.block(tree.genesis_id)
+        shared = genesis.child("shared", "alice")
+        tree.add(shared)
+        a2 = shared.child("a2", "alice")
+        tree.add(a2)
+        b2 = shared.child("b2", "bob")
+        tree.add(b2)
+        assert tree.common_prefix_with("b2").block_id == "shared"
+
+    def test_confirmation_depth(self):
+        tree = self._linear_chain(6)
+        assert tree.confirmation_depth("b0") == 6
+        assert tree.confirmation_depth("b5") == 1
+        assert tree.confirmation_depth(tree.genesis_id) == 7
+
+    def test_confirmation_depth_of_orphan_is_zero(self):
+        tree = BlockTree()
+        genesis = tree.block(tree.genesis_id)
+        tree.add(genesis.child("main1", "alice"))
+        tree.add(genesis.child("orphan", "bob"))
+        main2 = tree.block("main1").child("main2", "alice")
+        tree.add(main2)
+        assert tree.confirmation_depth("orphan") == 0

@@ -1,0 +1,194 @@
+"""Tests for miners, pools, the mining simulation, selfish mining and attacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import AnalysisError, ProtocolError
+from repro.nakamoto.attack import (
+    confirmations_for_risk,
+    double_spend_success_probability,
+    majority_takeover,
+)
+from repro.nakamoto.miner import Miner, miners_as_population
+from repro.nakamoto.pool import (
+    MiningPool,
+    compromised_power_fraction,
+    pool_population,
+    pools_from_snapshot,
+)
+from repro.nakamoto.selfish import honest_mining_revenue, selfish_mining_revenue
+from repro.nakamoto.simulation import MiningSimulation
+
+
+class TestMinersAndPools:
+    def test_miner_defaults_to_unique_configuration(self):
+        a = Miner("a", 10.0)
+        b = Miner("b", 10.0)
+        assert a.configuration != b.configuration
+
+    def test_miner_rejects_negative_power(self):
+        with pytest.raises(ProtocolError):
+            Miner("a", -1.0)
+
+    def test_miners_as_population(self):
+        population = miners_as_population([Miner("a", 60.0), Miner("b", 40.0)])
+        assert population.total_power() == pytest.approx(100.0)
+
+    def test_pool_aggregates_members(self):
+        pool = MiningPool("pool-x")
+        pool.add_member(Miner("m1", 5.0))
+        pool.add_member(Miner("m2", 7.0))
+        assert pool.total_hash_power() == pytest.approx(12.0)
+        assert len(pool) == 2
+        assert pool.as_replica().power == pytest.approx(12.0)
+
+    def test_pool_rejects_duplicate_member(self):
+        pool = MiningPool("pool-x")
+        pool.add_member(Miner("m1", 5.0))
+        with pytest.raises(ProtocolError):
+            pool.add_member(Miner("m1", 1.0))
+
+    def test_snapshot_pools(self):
+        pools, solo = pools_from_snapshot(residual_miners=10)
+        assert len(pools) == 17
+        assert len(solo) == 10
+        total = sum(p.total_hash_power() for p in pools) + sum(m.hash_power for m in solo)
+        assert total == pytest.approx(100.015)  # printed shares + residual
+
+    def test_snapshot_members_per_pool(self):
+        pools, _ = pools_from_snapshot(members_per_pool=4)
+        assert all(len(pool) == 4 for pool in pools)
+
+    def test_pool_population_entropy_below_three_bits(self):
+        pools, solo = pools_from_snapshot(residual_miners=101)
+        population = pool_population(pools, solo)
+        assert population.entropy() < 3.0
+
+    def test_compromised_power_fraction(self):
+        pools, solo = pools_from_snapshot(residual_miners=0)
+        fraction = compromised_power_fraction(pools, solo, ["foundry-usa", "antpool"])
+        assert fraction > 0.5
+
+    def test_compromised_power_unknown_pool_rejected(self):
+        pools, solo = pools_from_snapshot()
+        with pytest.raises(ProtocolError):
+            compromised_power_fraction(pools, solo, ["ghost-pool"])
+
+
+class TestMiningSimulation:
+    def _miners(self):
+        return [Miner("big", 55.0), Miner("mid", 30.0), Miner("small", 15.0)]
+
+    def test_honest_mining_produces_requested_blocks(self):
+        result = MiningSimulation(self._miners(), seed=1).mine_honest(100)
+        assert result.main_chain_length == 100
+        assert sum(dict(result.blocks_by_miner).values()) == 100
+
+    def test_block_share_tracks_hash_power(self):
+        result = MiningSimulation(self._miners(), seed=2).mine_honest(2000)
+        counts = dict(result.blocks_by_miner)
+        assert counts["big"] > counts["mid"] > counts["small"]
+
+    def test_deterministic_given_seed(self):
+        a = MiningSimulation(self._miners(), seed=3).mine_honest(50)
+        b = MiningSimulation(self._miners(), seed=3).mine_honest(50)
+        assert a.blocks_by_miner == b.blocks_by_miner
+
+    def test_majority_attacker_usually_wins(self):
+        sim = MiningSimulation(self._miners(), seed=4)
+        rate = sim.estimate_attack_success(["big"], confirmations=6, trials=60)
+        assert rate > 0.8
+
+    def test_small_attacker_usually_loses(self):
+        sim = MiningSimulation(self._miners(), seed=5)
+        rate = sim.estimate_attack_success(["small"], confirmations=6, trials=60)
+        assert rate < 0.2
+
+    def test_attack_reverts_confirmations_on_success(self):
+        sim = MiningSimulation(self._miners(), seed=6)
+        result = sim.run_double_spend(["big", "mid"], confirmations=4)
+        assert result.attack_succeeded
+        assert result.reverted_blocks >= 4
+
+    def test_attacker_coalition_must_be_nonempty(self):
+        sim = MiningSimulation(self._miners(), seed=7)
+        with pytest.raises(ProtocolError):
+            sim.run_double_spend([])
+
+    def test_all_miners_attacking_rejected(self):
+        sim = MiningSimulation(self._miners(), seed=8)
+        with pytest.raises(ProtocolError):
+            sim.run_double_spend(["big", "mid", "small"])
+
+    def test_simulation_requires_miners_and_power(self):
+        with pytest.raises(ProtocolError):
+            MiningSimulation([])
+        with pytest.raises(ProtocolError):
+            MiningSimulation([Miner("a", 0.0)])
+
+
+class TestSelfishMining:
+    def test_large_pool_with_visibility_profits(self):
+        result = selfish_mining_revenue(0.4, gamma=0.5, rounds=30_000, seed=1)
+        assert result.profitable
+        assert result.relative_revenue > 0.4
+
+    def test_small_pool_without_visibility_loses(self):
+        result = selfish_mining_revenue(0.15, gamma=0.0, rounds=30_000, seed=2)
+        assert not result.profitable
+
+    def test_revenue_grows_with_alpha(self):
+        low = selfish_mining_revenue(0.2, gamma=0.0, rounds=20_000, seed=3)
+        high = selfish_mining_revenue(0.45, gamma=0.0, rounds=20_000, seed=3)
+        assert high.relative_revenue > low.relative_revenue
+
+    def test_honest_revenue_is_alpha(self):
+        assert honest_mining_revenue(0.3) == pytest.approx(0.3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ProtocolError):
+            selfish_mining_revenue(0.6)
+        with pytest.raises(ProtocolError):
+            selfish_mining_revenue(0.3, gamma=1.5)
+        with pytest.raises(ProtocolError):
+            honest_mining_revenue(1.5)
+
+
+class TestAttackAnalysis:
+    def test_majority_attacker_always_succeeds(self):
+        assert double_spend_success_probability(0.5, 6) == pytest.approx(1.0)
+        assert double_spend_success_probability(0.7, 10) == pytest.approx(1.0)
+
+    def test_zero_power_never_succeeds(self):
+        assert double_spend_success_probability(0.0, 6) == 0.0
+
+    def test_probability_decreases_with_confirmations(self):
+        probs = [double_spend_success_probability(0.3, z) for z in range(1, 8)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_probability_increases_with_power(self):
+        assert double_spend_success_probability(0.4, 6) > double_spend_success_probability(0.1, 6)
+
+    def test_known_reference_value(self):
+        # ~0.0005 for a 10% attacker at 6 confirmations (Rosenfeld's table).
+        value = double_spend_success_probability(0.10, 6)
+        assert 1e-4 < value < 1e-3
+
+    def test_confirmations_for_risk(self):
+        depth = confirmations_for_risk(0.1, risk=0.001)
+        assert 4 <= depth <= 8
+        with pytest.raises(AnalysisError):
+            confirmations_for_risk(0.6, risk=0.001, max_confirmations=50)
+
+    def test_majority_takeover_report(self):
+        report = majority_takeover({"a": 60.0, "b": 40.0}, ["a"])
+        assert report.majority
+        assert report.compromised_fraction == pytest.approx(0.6)
+        assert report.double_spend_probability == pytest.approx(1.0)
+
+    def test_majority_takeover_validation(self):
+        with pytest.raises(AnalysisError):
+            majority_takeover({}, [])
+        with pytest.raises(AnalysisError):
+            majority_takeover({"a": 1.0}, ["ghost"])

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListAndRun:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure1" in output
+        assert "decentralized_pools" in output
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "example1"]) == 0
+        output = capsys.readouterr().out
+        assert "Example 1" in output
+        assert "8-replica" in output
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "does-not-exist"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_run_multiple_experiments(self, capsys):
+        assert main(["run", "proposition1", "proposition3"]) == 0
+        output = capsys.readouterr().out
+        assert "Proposition 1" in output
+        assert "Proposition 3" in output
+
+
+class TestEntropyCommand:
+    def test_entropy_of_uniform_distribution(self, capsys):
+        assert main(["entropy", "a=1", "b=1", "c=1", "d=1"]) == 0
+        output = capsys.readouterr().out
+        assert "2.0000" in output  # 2 bits
+        assert "respects" in output
+
+    def test_entropy_flags_dangerous_concentration(self, capsys):
+        assert main(["entropy", "foundry=60", "rest=40"]) == 0
+        output = capsys.readouterr().out
+        assert "VIOLATES" in output
+
+    def test_malformed_share_is_an_error(self, capsys):
+        assert main(["entropy", "justaname"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_numeric_power_is_an_error(self, capsys):
+        assert main(["entropy", "a=notanumber"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_command_exits_with_usage_error(self):
+        with pytest.raises(SystemExit):
+            main([])
