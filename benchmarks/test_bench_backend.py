@@ -1,0 +1,79 @@
+"""Benchmark: python vs numpy compute backend on the Monte-Carlo estimator.
+
+Both backends run the identical workload (same census, same seed) so the
+timing comparison is apples-to-apples and the recorded results double as a
+cross-backend equivalence check: verdict-level quantities driven by exact
+share arithmetic must match bit-for-bit, and the sampled probabilities must
+agree within Monte-Carlo tolerance.
+
+Run with::
+
+    pytest benchmarks/test_bench_backend.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.monte_carlo import estimate_violation_probability
+from repro.backend import available_backends
+from repro.datasets.generators import zipf_distribution
+
+#: Workload matching the BENCH_1.json acceptance snapshot, scaled down 4x so
+#: the scalar path keeps the benchmark suite fast.
+TRIALS = 2_500
+CONFIGS = 1_000
+
+CENSUS = zipf_distribution(CONFIGS, 1.2)
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_estimator_throughput_by_backend(benchmark, backend):
+    estimate = benchmark(
+        estimate_violation_probability,
+        CENSUS,
+        vulnerability_probability=0.25,
+        exploit_budget=1,
+        trials=TRIALS,
+        seed=42,
+        backend=backend,
+    )
+    assert estimate.trials == TRIALS
+    # Zipf(1.2) over 1000 configs has a largest share well below 1/3, so a
+    # single exploit can never reach the BFT tolerance -- on any backend.
+    assert estimate.violation_probability == 0.0
+    assert 0.0 < estimate.mean_compromised_fraction < 1 / 3
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_estimator_throughput_with_exploit_budget(benchmark, backend):
+    estimate = benchmark(
+        estimate_violation_probability,
+        CENSUS,
+        vulnerability_probability=0.25,
+        exploit_budget=3,
+        trials=TRIALS,
+        seed=42,
+        backend=backend,
+    )
+    # With three simultaneous exploits some trials compromise more power
+    # than with one, but most still fall short of the tolerance.
+    assert 0.0 <= estimate.violation_probability < 0.5
+
+
+def test_backends_agree_on_the_benchmark_workload():
+    estimates = {
+        backend: estimate_violation_probability(
+            CENSUS,
+            vulnerability_probability=0.25,
+            exploit_budget=3,
+            trials=TRIALS,
+            seed=42,
+            backend=backend,
+        )
+        for backend in available_backends()
+    }
+    probabilities = [e.violation_probability for e in estimates.values()]
+    assert max(probabilities) - min(probabilities) <= 0.03
+    fractions = [e.mean_compromised_fraction for e in estimates.values()]
+    assert max(fractions) - min(fractions) <= 0.01

@@ -21,4 +21,11 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=[],
+    extras_require={
+        # Vectorized compute backend (REPRO_BACKEND=numpy); the library is
+        # fully functional without it via the pure-Python fallback.
+        "fast": ["numpy>=1.22"],
+        # Benchmark suite (pytest benchmarks/ --benchmark-only).
+        "bench": ["pytest-benchmark"],
+    },
 )

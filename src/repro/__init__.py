@@ -23,9 +23,12 @@ substrate the paper's argument relies on:
 - :mod:`repro.datasets` -- the Bitcoin mining-pool snapshot used by the
   paper's Example 1 / Figure 1 plus synthetic ecosystem generators.
 - :mod:`repro.analysis` -- Monte-Carlo safety analysis, sweeps and reports.
+- :mod:`repro.backend` -- pluggable compute backends (vectorized NumPy and a
+  pure-Python fallback) behind ``get_backend`` / ``REPRO_BACKEND``.
 - :mod:`repro.experiments` -- one module per figure / example / proposition.
 """
 
+from repro.backend import available_backends, get_backend, set_default_backend
 from repro.core.abundance import AbundanceVector
 from repro.core.configuration import (
     ComponentKind,
@@ -67,11 +70,14 @@ __all__ = [
     "SafetyCondition",
     "SoftwareComponent",
     "__version__",
+    "available_backends",
+    "get_backend",
     "is_kappa_omega_optimal",
     "is_kappa_optimal",
     "kappa_of",
     "max_entropy",
     "normalized_entropy",
+    "set_default_backend",
     "shannon_entropy",
     "tolerated_fault_fraction",
 ]

@@ -2,13 +2,17 @@
 
 - :mod:`repro.analysis.monte_carlo` -- probability of a safety violation
   under randomly-arriving shared vulnerabilities, as a function of the
-  configuration census.
+  configuration census; runs on a pluggable compute backend
+  (:mod:`repro.backend`) and supports parallel census fan-out.
 - :mod:`repro.analysis.sweep` -- generic parameter-sweep helpers used by the
-  experiments and benchmarks.
+  experiments and benchmarks, with optional thread-pool parallelism.
+- :mod:`repro.analysis.benchmark` -- times the Monte-Carlo hot path on every
+  available backend and serializes perf snapshots (``BENCH_1.json``).
 - :mod:`repro.analysis.report` -- plain-text tables (no plotting dependency)
   matching the rows/series the paper reports.
 """
 
+from repro.analysis.benchmark import BenchmarkReport, benchmark_backends, write_snapshot
 from repro.analysis.components import (
     ComponentKindProfile,
     component_census,
@@ -19,22 +23,30 @@ from repro.analysis.components import (
 )
 from repro.analysis.monte_carlo import (
     SafetyViolationEstimate,
+    analytic_single_vulnerability_violation,
     estimate_violation_probability,
+    violation_probability_by_entropy,
 )
 from repro.analysis.report import Table, format_table
-from repro.analysis.sweep import SweepResult, sweep
+from repro.analysis.sweep import SweepResult, mapping_sweep, sweep
 
 __all__ = [
+    "BenchmarkReport",
     "ComponentKindProfile",
     "SafetyViolationEstimate",
     "SweepResult",
     "Table",
+    "analytic_single_vulnerability_violation",
+    "benchmark_backends",
     "component_census",
     "component_entropy_profile",
     "diversification_priority",
     "estimate_violation_probability",
     "exposure_by_component",
     "format_table",
+    "mapping_sweep",
     "sweep",
+    "violation_probability_by_entropy",
     "weakest_component",
+    "write_snapshot",
 ]

@@ -1,0 +1,185 @@
+"""Backend benchmark harness for the Monte-Carlo hot path.
+
+Times :func:`~repro.analysis.monte_carlo.estimate_violation_probability` on
+every available compute backend against the same census and seed, checks the
+runs are deterministic per backend, and serializes the measurements as a JSON
+perf snapshot (``BENCH_1.json`` in CI) so future optimization PRs have a
+recorded trajectory to beat.
+
+The workload is the acceptance-size one by default: 10k trials × 1k
+configurations of a Zipf(1.2) census — large enough that interpreter
+overhead dominates the scalar path, small enough to finish in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.monte_carlo import estimate_violation_probability
+from repro.backend import available_backends, get_backend
+from repro.core.exceptions import AnalysisError
+from repro.datasets.generators import zipf_distribution
+
+#: Schema version of the snapshot document.
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BackendTiming:
+    """One backend's measurement on the benchmark workload.
+
+    Attributes:
+        backend: backend name.
+        seconds: best-of-``repeats`` wall time for one full estimate.
+        trials_per_second: ``trials / seconds``.
+        violations: violation count (identical across repeats by contract).
+        violation_probability: the estimate the timed run produced.
+    """
+
+    backend: str
+    seconds: float
+    trials_per_second: float
+    violations: int
+    violation_probability: float
+
+
+@dataclass(frozen=True)
+class BenchmarkReport:
+    """All backend timings for one workload, plus the derived speedup."""
+
+    trials: int
+    configs: int
+    exploit_budget: int
+    vulnerability_probability: float
+    seed: int
+    repeats: int
+    timings: Tuple[BackendTiming, ...]
+
+    def timing(self, backend: str) -> BackendTiming:
+        for timing in self.timings:
+            if timing.backend == backend:
+                return timing
+        raise AnalysisError(f"backend {backend!r} was not benchmarked")
+
+    def speedup_over_python(self, backend: str) -> Optional[float]:
+        """``python_seconds / backend_seconds``; None when python was not run."""
+        names = {timing.backend for timing in self.timings}
+        if "python" not in names or backend not in names:
+            return None
+        return self.timing("python").seconds / self.timing(backend).seconds
+
+    def as_dict(self) -> Dict:
+        """JSON-serializable snapshot of the report."""
+        document: Dict = {
+            "version": SNAPSHOT_VERSION,
+            "benchmark": "monte_carlo_estimator",
+            "workload": {
+                "trials": self.trials,
+                "configs": self.configs,
+                "exploit_budget": self.exploit_budget,
+                "vulnerability_probability": self.vulnerability_probability,
+                "seed": self.seed,
+                "repeats": self.repeats,
+                "census": "zipf(s=1.2)",
+            },
+            "results": {
+                timing.backend: {
+                    "seconds": timing.seconds,
+                    "trials_per_second": timing.trials_per_second,
+                    "violations": timing.violations,
+                    "violation_probability": timing.violation_probability,
+                }
+                for timing in self.timings
+            },
+        }
+        for timing in self.timings:
+            if timing.backend != "python":
+                speedup = self.speedup_over_python(timing.backend)
+                if speedup is not None:
+                    document[f"speedup_{timing.backend}_over_python"] = speedup
+        return document
+
+
+def benchmark_backends(
+    *,
+    trials: int = 10_000,
+    configs: int = 1_000,
+    exploit_budget: int = 1,
+    vulnerability_probability: float = 0.25,
+    seed: int = 42,
+    repeats: int = 3,
+    backends: Optional[Tuple[str, ...]] = None,
+) -> BenchmarkReport:
+    """Time the Monte-Carlo estimator on each backend with a shared workload.
+
+    Each backend gets one untimed warmup run, then ``repeats`` timed runs of
+    which the fastest counts (standard best-of-N to suppress scheduler
+    noise).  A :class:`~repro.core.exceptions.AnalysisError` is raised if a
+    backend's repeated runs disagree — that would break the determinism
+    contract the equivalence tests rely on.
+    """
+    if trials <= 0 or configs <= 0:
+        raise AnalysisError("trials and configs must be positive")
+    if repeats <= 0:
+        raise AnalysisError("repeats must be positive")
+    selected = tuple(backends) if backends is not None else available_backends()
+    if not selected:
+        raise AnalysisError("no backends selected for benchmarking")
+    census = zipf_distribution(configs, 1.2)
+    timings = []
+    for name in selected:
+        backend = get_backend(name)
+
+        def run():
+            return estimate_violation_probability(
+                census,
+                vulnerability_probability=vulnerability_probability,
+                exploit_budget=exploit_budget,
+                trials=trials,
+                seed=seed,
+                backend=backend,
+            )
+
+        reference = run()  # warmup, also the determinism reference
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            estimate = run()
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+            if estimate.violations != reference.violations:
+                raise AnalysisError(
+                    f"backend {name!r} is non-deterministic: "
+                    f"{estimate.violations} != {reference.violations} violations"
+                )
+        timings.append(
+            BackendTiming(
+                backend=name,
+                seconds=best,
+                trials_per_second=trials / best,
+                violations=reference.violations,
+                violation_probability=reference.violation_probability,
+            )
+        )
+    return BenchmarkReport(
+        trials=trials,
+        configs=configs,
+        exploit_budget=exploit_budget,
+        vulnerability_probability=vulnerability_probability,
+        seed=seed,
+        repeats=repeats,
+        timings=tuple(timings),
+    )
+
+
+def write_snapshot(report: BenchmarkReport, path: str) -> None:
+    """Write a benchmark report to ``path`` as indented JSON."""
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    except OSError as error:
+        raise AnalysisError(f"cannot write benchmark snapshot to {path!r}: {error}") from error

@@ -18,8 +18,10 @@ entropy hides *where* the monoculture sits; this module decomposes it:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.backend import get_backend
+from repro.backend.selection import BackendLike
 from repro.core.configuration import ComponentKind, SoftwareComponent
 from repro.core.distribution import ConfigurationDistribution
 from repro.core.exceptions import AnalysisError
@@ -58,17 +60,23 @@ def component_census(
     kind: ComponentKind,
     *,
     weight_by_power: bool = True,
+    backend: BackendLike = None,
 ) -> ConfigurationDistribution:
-    """Voting-power (or replica-count) distribution over one component kind."""
+    """Voting-power (or replica-count) distribution over one component kind.
+
+    The per-label accumulation runs on the selected compute backend's
+    ``weighted_bincount`` kernel, which preserves first-appearance order, so
+    the census is backend-independent.
+    """
     if len(population) == 0:
         raise AnalysisError("cannot analyse an empty population")
-    weights: Dict[str, float] = {}
+    labels: List[str] = []
+    weights: List[float] = []
     for replica in population:
         component = replica.configuration.component(kind)
-        key = component.identifier if component is not None else ABSENT
-        weight = replica.power if weight_by_power else 1.0
-        weights[key] = weights.get(key, 0.0) + weight
-    return ConfigurationDistribution(weights)
+        labels.append(component.identifier if component is not None else ABSENT)
+        weights.append(replica.power if weight_by_power else 1.0)
+    return ConfigurationDistribution(get_backend(backend).weighted_bincount(labels, weights))
 
 
 def component_entropy_profile(
@@ -76,6 +84,7 @@ def component_entropy_profile(
     *,
     family: ProtocolFamily = ProtocolFamily.BFT,
     weight_by_power: bool = True,
+    backend: BackendLike = None,
 ) -> Tuple[ComponentKindProfile, ...]:
     """Per-kind diversity profile across every kind present in the population."""
     if len(population) == 0:
@@ -91,7 +100,9 @@ def component_entropy_profile(
     tolerance = tolerated_fault_fraction(family)
     profiles = []
     for kind in kinds:
-        census = component_census(population, kind, weight_by_power=weight_by_power)
+        census = component_census(
+            population, kind, weight_by_power=weight_by_power, backend=backend
+        )
         dominant_key, dominant_share = census.largest(1)[0]
         profiles.append(
             ComponentKindProfile(
@@ -112,9 +123,10 @@ def weakest_component(
     population: ReplicaPopulation,
     *,
     family: ProtocolFamily = ProtocolFamily.BFT,
+    backend: BackendLike = None,
 ) -> ComponentKindProfile:
     """The slot whose dominant choice concentrates the most voting power."""
-    profiles = component_entropy_profile(population, family=family)
+    profiles = component_entropy_profile(population, family=family, backend=backend)
     concrete = [profile for profile in profiles if profile.dominant_component != ABSENT]
     candidates = concrete or list(profiles)
     return max(candidates, key=lambda profile: profile.dominant_share)
@@ -124,12 +136,14 @@ def exposure_by_component(
     population: ReplicaPopulation,
     *,
     kind: Optional[ComponentKind] = None,
+    backend: BackendLike = None,
 ) -> Dict[str, float]:
     """Voting power exposed per concrete component identifier.
 
     Args:
         population: the replica population.
         kind: restrict the analysis to one component kind (``None`` = all).
+        backend: compute backend for the weighted accumulation.
 
     Returns:
         Mapping component identifier -> absolute exposed voting power, sorted
@@ -137,14 +151,15 @@ def exposure_by_component(
     """
     if len(population) == 0:
         raise AnalysisError("cannot analyse an empty population")
-    exposure: Dict[str, float] = {}
+    labels: List[str] = []
+    weights: List[float] = []
     for replica in population:
         for component in replica.configuration:
             if kind is not None and component.kind is not kind:
                 continue
-            exposure[component.identifier] = (
-                exposure.get(component.identifier, 0.0) + replica.power
-            )
+            labels.append(component.identifier)
+            weights.append(replica.power)
+    exposure = get_backend(backend).weighted_bincount(labels, weights)
     return dict(sorted(exposure.items(), key=lambda item: (-item[1], item[0])))
 
 
@@ -152,6 +167,7 @@ def diversification_priority(
     population: ReplicaPopulation,
     *,
     family: ProtocolFamily = ProtocolFamily.BFT,
+    backend: BackendLike = None,
 ) -> Tuple[Tuple[str, float], ...]:
     """Components whose exposure exceeds the protocol tolerance, largest first.
 
@@ -163,7 +179,7 @@ def diversification_priority(
     total = population.total_power()
     if total <= 0:
         raise AnalysisError("the population has no voting power")
-    ranked = exposure_by_component(population)
+    ranked = exposure_by_component(population, backend=backend)
     return tuple(
         (identifier, power / total)
         for identifier, power in ranked.items()

@@ -15,10 +15,12 @@ shared faults violates safety falls as diversity (entropy) rises.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Hashable, Mapping, Optional, Sequence, Tuple
 
+from repro.analysis.sweep import mapping_sweep
+from repro.backend import get_backend
+from repro.backend.selection import BackendLike
 from repro.core.distribution import ConfigurationDistribution
 from repro.core.exceptions import AnalysisError
 from repro.core.resilience import ProtocolFamily, tolerated_fault_fraction
@@ -52,6 +54,7 @@ def estimate_violation_probability(
     trials: int = 1000,
     seed: int = 0,
     tolerated_fraction: Optional[float] = None,
+    backend: BackendLike = None,
 ) -> SafetyViolationEstimate:
     """Estimate the probability that shared vulnerabilities violate safety.
 
@@ -67,9 +70,14 @@ def estimate_violation_probability(
         exploit_budget: how many vulnerable configurations the attacker can
             exploit simultaneously (it greedily picks the largest shares).
         trials: Monte-Carlo sample count.
-        seed: RNG seed.
+        seed: RNG seed.  Results are deterministic per backend for a fixed
+            seed; the pure-Python and NumPy backends use different RNG
+            streams and agree only within Monte-Carlo tolerance.
         tolerated_fraction: explicit tolerance override (otherwise derived
             from ``family``).
+        backend: compute backend name ("python", "numpy", "auto"), instance,
+            or ``None`` to use :func:`repro.backend.get_backend` resolution
+            (default / ``REPRO_BACKEND`` / auto-detect).
     """
     if not 0.0 <= vulnerability_probability <= 1.0:
         raise AnalysisError(
@@ -87,22 +95,20 @@ def estimate_violation_probability(
     if not 0.0 < tolerance <= 1.0:
         raise AnalysisError(f"tolerated fraction must be in (0, 1], got {tolerance}")
 
-    shares = sorted(census.probabilities(), reverse=True)
-    rng = random.Random(seed)
-    violations = 0
-    compromised_total = 0.0
-    for _ in range(trials):
-        vulnerable = [share for share in shares if rng.random() < vulnerability_probability]
-        vulnerable.sort(reverse=True)
-        compromised = sum(vulnerable[:exploit_budget])
-        compromised_total += compromised
-        if compromised >= tolerance:
-            violations += 1
-    return SafetyViolationEstimate(
+    resolved = get_backend(backend)
+    batch = resolved.violation_trials(
+        census.sorted_probabilities_array(resolved),
+        vulnerability_probability=vulnerability_probability,
+        exploit_budget=exploit_budget,
         trials=trials,
-        violations=violations,
-        violation_probability=violations / trials,
-        mean_compromised_fraction=compromised_total / trials,
+        seed=seed,
+        tolerance=tolerance,
+    )
+    return SafetyViolationEstimate(
+        trials=batch.trials,
+        violations=batch.violations,
+        violation_probability=batch.violations / batch.trials,
+        mean_compromised_fraction=batch.compromised_total / batch.trials,
         tolerated_fraction=tolerance,
     )
 
@@ -115,16 +121,25 @@ def violation_probability_by_entropy(
     exploit_budget: int = 1,
     trials: int = 1000,
     seed: int = 0,
+    backend: BackendLike = None,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> Tuple[Tuple[Hashable, float, float], ...]:
     """Estimate violation probability for several censuses at once.
 
     Returns ``(label, entropy_bits, violation_probability)`` tuples sorted by
     entropy, which is the series the safety-violation experiment reports.
+
+    Each census gets its own deterministic seed (``seed + index`` over the
+    mapping's iteration order), so with ``parallel=True`` the points are
+    fanned out over a thread pool and the result is identical to the serial
+    run regardless of scheduling.
     """
     if not censuses:
         raise AnalysisError("at least one census is required")
-    rows = []
-    for index, (label, census) in enumerate(censuses.items()):
+    resolved = get_backend(backend)
+
+    def estimate_point(index: int, label: Hashable, census: ConfigurationDistribution):
         estimate = estimate_violation_probability(
             census,
             family=family,
@@ -132,8 +147,13 @@ def violation_probability_by_entropy(
             exploit_budget=exploit_budget,
             trials=trials,
             seed=seed + index,
+            backend=resolved,
         )
-        rows.append((label, census.entropy(), estimate.violation_probability))
+        return (label, census.entropy(), estimate.violation_probability)
+
+    rows = mapping_sweep(
+        censuses, estimate_point, parallel=parallel, max_workers=max_workers
+    )
     rows.sort(key=lambda row: row[1])
     return tuple(rows)
 

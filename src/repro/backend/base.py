@@ -1,0 +1,173 @@
+"""Abstract interface every compute backend implements.
+
+A :class:`ComputeBackend` bundles the numeric hot paths of the reproduction —
+batched Monte-Carlo vulnerability trials, Shannon entropy and weighted label
+accumulation — behind one seam, so the same analysis code can run on the
+dependency-free pure-Python implementation or on a vectorized NumPy one.
+
+The contract every implementation must honor:
+
+- **Determinism per backend.** Given identical arguments (including the
+  seed), repeated calls return identical results.  Different backends may use
+  different RNG streams, so cross-backend results agree only statistically
+  (within Monte-Carlo tolerance), while *verdict*-level quantities derived
+  from exact share arithmetic (e.g. "can a single exploit reach the
+  tolerance") agree exactly.
+- **Semantics over speed.** Both backends implement the same trial model: in
+  each trial every configuration independently turns out vulnerable with
+  probability ``p``, the attacker exploits the ``budget`` largest vulnerable
+  shares, and the trial violates safety when the compromised power reaches
+  the tolerance.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Hashable, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TrialBatchResult:
+    """Aggregate outcome of a batch of Monte-Carlo vulnerability trials.
+
+    Attributes:
+        trials: number of trials simulated.
+        violations: trials in which compromised power reached the tolerance.
+        compromised_total: sum of compromised power fractions over all trials
+            (``compromised_total / trials`` is the mean compromised fraction).
+    """
+
+    trials: int
+    violations: int
+    compromised_total: float
+
+
+class ComputeBackend(abc.ABC):
+    """Numeric kernel provider for the analysis layer.
+
+    Subclasses are stateless; one shared instance per backend is cached by
+    :func:`repro.backend.get_backend`.
+    """
+
+    #: Registry name of the backend ("python", "numpy", ...).
+    name: str = "abstract"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether the backend can run in the current environment."""
+        return True
+
+    # -- Monte-Carlo kernel -----------------------------------------------------
+
+    @abc.abstractmethod
+    def violation_trials(
+        self,
+        shares: Sequence[float],
+        *,
+        vulnerability_probability: float,
+        exploit_budget: int,
+        trials: int,
+        seed: int,
+        tolerance: float,
+    ) -> TrialBatchResult:
+        """Run ``trials`` independent vulnerability scenarios.
+
+        Args:
+            shares: voting-power shares sorted in descending order (callers
+                are responsible for the sort; backends rely on it to take the
+                ``exploit_budget`` largest vulnerable shares without
+                re-sorting per trial).
+            vulnerability_probability: per-configuration vulnerability
+                probability in ``[0, 1]``.
+            exploit_budget: number of vulnerable configurations the attacker
+                exploits simultaneously (greedily, largest shares first).
+            trials: number of scenarios to sample (positive).
+            seed: RNG seed; fixes the backend's stream deterministically.
+            tolerance: compromised-power fraction at which a trial counts as
+                a safety violation.
+        """
+
+    # -- entropy kernel ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def shannon_entropy(self, probabilities: Sequence[float], *, base: float = 2.0) -> float:
+        """Shannon entropy of an already-validated probability vector.
+
+        Zero entries contribute nothing (the paper's ``0 * log(1/0) = 0``
+        convention).  Validation (non-negativity, normalization) is the
+        caller's job — this is the inner-loop kernel only.
+        """
+
+    # -- weighted accumulation kernel -------------------------------------------
+
+    def weighted_bincount(
+        self,
+        labels: Sequence[Hashable],
+        weights: Sequence[float],
+    ) -> Dict[Hashable, float]:
+        """Sum ``weights`` grouped by label, preserving first-appearance order.
+
+        The returned dict maps each distinct label to the sum of the weights
+        at its positions; iteration order matches the order in which labels
+        first appear, so downstream :class:`ConfigurationDistribution`
+        construction is identical across backends.
+
+        The dict accumulation here is the shared default: census labels are
+        arbitrary hashables (usually strings), which array libraries can
+        only group via an object-dtype sort that loses to a plain hash loop.
+        Backends with a genuinely faster grouping may override.
+        """
+        accumulated: Dict[Hashable, float] = {}
+        for label, weight in zip(labels, weights):
+            accumulated[label] = accumulated.get(label, 0.0) + float(weight)
+        return accumulated
+
+    # -- array construction -----------------------------------------------------
+
+    @abc.abstractmethod
+    def asarray(self, values: Sequence[float]) -> Sequence[float]:
+        """The backend's preferred array representation of a float sequence.
+
+        The pure-Python backend returns a tuple; array backends return their
+        native array type, frozen read-only.  :class:`ConfigurationDistribution`
+        caches the result per backend so hot paths hand the kernels a
+        ready-made array instead of rebuilding one per call — callers must
+        treat it as immutable (copy before mutating).
+        """
+
+    # -- misc -------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def validate_trial_arguments(
+    shares: Sequence[float],
+    *,
+    vulnerability_probability: float,
+    exploit_budget: int,
+    trials: int,
+    tolerance: float,
+) -> None:
+    """Shared argument validation for :meth:`ComputeBackend.violation_trials`.
+
+    Raises :class:`~repro.core.exceptions.BackendError` on invalid input so a
+    backend never has to trust its caller.
+    """
+    from repro.core.exceptions import BackendError
+
+    if len(shares) == 0:
+        raise BackendError("violation_trials needs at least one share")
+    if not 0.0 <= vulnerability_probability <= 1.0:
+        raise BackendError(
+            f"vulnerability probability must be in [0, 1], got {vulnerability_probability}"
+        )
+    if exploit_budget < 0:
+        raise BackendError(f"exploit budget must be non-negative, got {exploit_budget}")
+    if trials <= 0:
+        raise BackendError(f"trial count must be positive, got {trials}")
+    if not 0.0 < tolerance <= 1.0:
+        raise BackendError(f"tolerance must be in (0, 1], got {tolerance}")
+    if any(later > earlier for earlier, later in zip(shares, shares[1:])):
+        raise BackendError("shares must be sorted in descending order")

@@ -1,0 +1,66 @@
+"""Dependency-free pure-Python compute backend.
+
+This backend reproduces, bit for bit, the results the analysis layer produced
+before the backend seam existed: the same ``random.Random(seed)`` stream, the
+same per-trial filter over descending shares and the same sequential float
+summation order.  It is the fallback that keeps the reproduction runnable on
+a bare Python install, and the reference implementation the vectorized
+backends are tested against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.backend.base import ComputeBackend, TrialBatchResult, validate_trial_arguments
+from repro.core import entropy as entropy_module
+
+
+class PythonBackend(ComputeBackend):
+    """Scalar reference implementation of the compute kernels."""
+
+    name = "python"
+
+    def violation_trials(
+        self,
+        shares: Sequence[float],
+        *,
+        vulnerability_probability: float,
+        exploit_budget: int,
+        trials: int,
+        seed: int,
+        tolerance: float,
+    ) -> TrialBatchResult:
+        validate_trial_arguments(
+            shares,
+            vulnerability_probability=vulnerability_probability,
+            exploit_budget=exploit_budget,
+            trials=trials,
+            tolerance=tolerance,
+        )
+        rng = random.Random(seed)
+        violations = 0
+        compromised_total = 0.0
+        # ``shares`` is descending, and the comprehension preserves order, so
+        # the first ``exploit_budget`` vulnerable entries are already the
+        # largest ones — no per-trial sort is needed.
+        for _ in range(trials):
+            vulnerable = [
+                share for share in shares if rng.random() < vulnerability_probability
+            ]
+            compromised = sum(vulnerable[:exploit_budget])
+            compromised_total += compromised
+            if compromised >= tolerance:
+                violations += 1
+        return TrialBatchResult(
+            trials=trials,
+            violations=violations,
+            compromised_total=compromised_total,
+        )
+
+    def shannon_entropy(self, probabilities: Sequence[float], *, base: float = 2.0) -> float:
+        return entropy_module.shannon_entropy(probabilities, base=base)
+
+    def asarray(self, values: Sequence[float]) -> Sequence[float]:
+        return tuple(float(value) for value in values)

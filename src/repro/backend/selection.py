@@ -1,0 +1,141 @@
+"""Backend registry and selection logic.
+
+Resolution order for :func:`get_backend`:
+
+1. an explicit ``name`` argument (or an already-constructed backend
+   instance, passed through unchanged);
+2. the process-wide default installed by :func:`set_default_backend`
+   (the CLI's ``--backend`` flag uses this);
+3. the ``REPRO_BACKEND`` environment variable;
+4. auto-detection: the fastest available backend (NumPy when importable,
+   otherwise the pure-Python fallback).
+
+``"auto"`` is accepted anywhere a name is and triggers step 4 explicitly.
+Backend instances are stateless and cached, so repeated calls are cheap
+enough for per-estimate resolution.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional, Tuple, Type, Union
+
+from repro.backend.base import ComputeBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.python_backend import PythonBackend
+from repro.core.exceptions import BackendError
+
+#: Environment variable consulted when no explicit backend is requested.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Name that explicitly requests auto-detection.
+AUTO = "auto"
+
+#: Registered backends, in auto-detection preference order (fastest first).
+_REGISTRY: Tuple[Type[ComputeBackend], ...] = (NumpyBackend, PythonBackend)
+
+_instances: Dict[str, ComputeBackend] = {}
+_default_name: Optional[str] = None
+_lock = threading.Lock()
+
+BackendLike = Union[str, ComputeBackend, None]
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Names of every registered backend, in auto-detection order."""
+    return tuple(cls.name for cls in _REGISTRY)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends that can run in this environment."""
+    return tuple(cls.name for cls in _REGISTRY if cls.is_available())
+
+
+def _instantiate(name: str) -> ComputeBackend:
+    with _lock:
+        instance = _instances.get(name)
+        if instance is None:
+            for cls in _REGISTRY:
+                if cls.name == name:
+                    if not cls.is_available():
+                        raise BackendError(
+                            f"backend {name!r} is not available in this environment "
+                            f"(available: {', '.join(available_backends())})"
+                        )
+                    instance = cls()
+                    break
+            else:
+                raise BackendError(
+                    f"unknown backend {name!r} "
+                    f"(registered: {', '.join(registered_backends())}, plus {AUTO!r})"
+                )
+            _instances[name] = instance
+        return instance
+
+
+def _auto_name() -> str:
+    for cls in _REGISTRY:
+        if cls.is_available():
+            return cls.name
+    raise BackendError("no compute backend is available")  # pragma: no cover
+
+
+def get_backend(backend: BackendLike = None) -> ComputeBackend:
+    """Resolve a backend name/instance/None to a ready :class:`ComputeBackend`.
+
+    See the module docstring for the resolution order.  Raises
+    :class:`~repro.core.exceptions.BackendError` for unknown or unavailable
+    names, including via the environment variable.
+    """
+    if isinstance(backend, ComputeBackend):
+        return backend
+    name = backend
+    if name is None:
+        name = _default_name
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or None
+    if name is not None:
+        name = name.strip().lower()
+    if name is None or name == AUTO:
+        name = _auto_name()
+    return _instantiate(name)
+
+
+def set_default_backend(backend: Optional[str]) -> Optional[str]:
+    """Install a process-wide default backend name; returns the previous one.
+
+    Pass ``None`` (or ``"auto"``) to restore auto-detection.  The name is
+    validated eagerly so misconfiguration surfaces at selection time, not in
+    the middle of an estimate.
+    """
+    global _default_name
+    if backend is not None and backend != AUTO:
+        _instantiate(backend.strip().lower())  # validate eagerly
+        new_name: Optional[str] = backend.strip().lower()
+    else:
+        new_name = None
+    previous = _default_name
+    _default_name = new_name
+    return previous
+
+
+class use_backend:
+    """Context manager scoping a default backend (handy in tests/benchmarks).
+
+    Example::
+
+        with use_backend("python"):
+            estimate_violation_probability(census, trials=100)
+    """
+
+    def __init__(self, backend: Optional[str]) -> None:
+        self._backend = backend
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> ComputeBackend:
+        self._previous = set_default_backend(self._backend)
+        return get_backend()
+
+    def __exit__(self, *exc_info: object) -> None:
+        set_default_backend(self._previous)

@@ -1,20 +1,28 @@
 """Command-line interface for the reproduction.
 
-Three subcommands cover the common workflows without writing Python:
+Five subcommands cover the common workflows without writing Python:
 
-- ``list``    — show the available experiments (one per paper artifact);
-- ``run``     — run one, several or all experiments and print their tables;
-- ``entropy`` — quick diversity analysis of a voting-power distribution given
+- ``list``     — show the available experiments (one per paper artifact);
+- ``run``      — run one, several or all experiments and print their tables;
+- ``entropy``  — quick diversity analysis of a voting-power distribution given
   as ``name=power`` pairs (e.g. mining-pool shares), reporting the Shannon
   entropy, the full diversity profile and which protocol tolerances a single
-  shared fault in the largest configuration would break.
+  shared fault in the largest configuration would break;
+- ``backends`` — show the registered compute backends and which one is active;
+- ``bench``    — time the Monte-Carlo estimator on every available backend and
+  optionally write a JSON perf snapshot (the CI ``BENCH_1.json`` artifact).
+
+Every subcommand honors the global ``--backend`` flag (and the
+``REPRO_BACKEND`` environment variable) to select the compute backend.
 
 Examples::
 
     python -m repro.cli list
     python -m repro.cli run figure1 example1
-    python -m repro.cli run --all
+    python -m repro.cli --backend python run --all
     python -m repro.cli entropy foundry=34.2 antpool=20.0 f2pool=13.0 rest=32.8
+    python -m repro.cli backends
+    python -m repro.cli bench --trials 10000 --configs 1000 --output BENCH_1.json
 """
 
 from __future__ import annotations
@@ -23,7 +31,15 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.analysis.benchmark import benchmark_backends, write_snapshot
 from repro.analysis.report import Table
+from repro.backend import (
+    AUTO,
+    available_backends,
+    get_backend,
+    registered_backends,
+    set_default_backend,
+)
 from repro.core.distribution import ConfigurationDistribution
 from repro.core.exceptions import ReproError
 from repro.core.resilience import ProtocolFamily, tolerated_fault_fraction
@@ -34,6 +50,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Fault Independence in Blockchain' (DSN 2023).",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=(AUTO, *registered_backends()),
+        default=None,
+        help="compute backend for the numeric hot paths "
+        "(default: REPRO_BACKEND env var, then auto-detect)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -58,6 +81,31 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="+",
         metavar="NAME=POWER",
         help="voting-power entries, e.g. foundry=34.2 antpool=20.0",
+    )
+
+    subparsers.add_parser(
+        "backends", help="show registered compute backends and the active one"
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="time the Monte-Carlo estimator on every available backend",
+    )
+    bench_parser.add_argument("--trials", type=int, default=10_000)
+    bench_parser.add_argument("--configs", type=int, default=1_000)
+    bench_parser.add_argument("--budget", type=int, default=1, help="exploit budget")
+    bench_parser.add_argument(
+        "--vulnerability", type=float, default=0.25, help="per-config vulnerability probability"
+    )
+    bench_parser.add_argument("--seed", type=int, default=42)
+    bench_parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repeats per backend (best counts)"
+    )
+    bench_parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the JSON perf snapshot here (e.g. BENCH_1.json)",
     )
     return parser
 
@@ -123,20 +171,73 @@ def _command_entropy(entries: Sequence[str]) -> int:
     return 0
 
 
+def _command_backends() -> int:
+    active = get_backend()
+    available = set(available_backends())
+    table = Table(headers=("backend", "available", "active"))
+    for name in registered_backends():
+        table.add_row(name, name in available, name == active.name)
+    print(table.render())
+    return 0
+
+
+def _command_bench(arguments: argparse.Namespace) -> int:
+    report = benchmark_backends(
+        trials=arguments.trials,
+        configs=arguments.configs,
+        exploit_budget=arguments.budget,
+        vulnerability_probability=arguments.vulnerability,
+        seed=arguments.seed,
+        repeats=arguments.repeats,
+    )
+    print(
+        f"Monte-Carlo estimator bench: {report.trials} trials x "
+        f"{report.configs} configs (budget={report.exploit_budget}, "
+        f"p_vuln={report.vulnerability_probability}, seed={report.seed})"
+    )
+    table = Table(headers=("backend", "seconds", "trials/sec", "P[violation]", "vs python"))
+    for timing in report.timings:
+        speedup = report.speedup_over_python(timing.backend)
+        table.add_row(
+            timing.backend,
+            timing.seconds,
+            timing.trials_per_second,
+            timing.violation_probability,
+            "-" if speedup is None else f"{speedup:.1f}x",
+        )
+    print(table.render())
+    if arguments.output:
+        write_snapshot(report, arguments.output)
+        print(f"snapshot written to {arguments.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
     arguments = parser.parse_args(argv)
+    previous_backend = None
+    backend_overridden = False
     try:
+        if arguments.backend is not None:
+            previous_backend = set_default_backend(arguments.backend)
+            backend_overridden = True
         if arguments.command == "list":
             return _command_list()
         if arguments.command == "run":
             return _command_run(arguments.experiments, arguments.all)
         if arguments.command == "entropy":
             return _command_entropy(arguments.shares)
+        if arguments.command == "backends":
+            return _command_backends()
+        if arguments.command == "bench":
+            return _command_bench(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if backend_overridden:
+            set_default_backend(previous_backend)
     parser.error(f"unknown command {arguments.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

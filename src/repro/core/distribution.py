@@ -31,9 +31,15 @@ class ConfigurationDistribution:
     callers never need to pre-normalize.  Zero-weight configurations are kept
     in the support description but excluded from κ (the count of *non-zero*
     shares, per Definition 1).
+
+    The instance is frozen after ``__init__`` (no mutating API), so derived
+    quantities — the probability vector, its descending sort, per-backend
+    array views, entropies and the full ranking — are computed once and
+    memoized in ``_cache``; analysis hot paths that interrogate the same
+    census thousands of times pay for each derivation only once.
     """
 
-    __slots__ = ("_shares",)
+    __slots__ = ("_shares", "_cache")
 
     def __init__(self, weights: Mapping[ConfigKey, float]) -> None:
         if not weights:
@@ -52,6 +58,16 @@ class ConfigurationDistribution:
         self._shares: Dict[ConfigKey, float] = {
             key: weight / total for key, weight in cleaned.items()
         }
+        self._cache: Dict[object, object] = {}
+
+    def _memoized(self, key, compute):
+        """Value of ``compute()`` cached under ``key`` for this instance."""
+        try:
+            return self._cache[key]
+        except KeyError:
+            value = compute()
+            self._cache[key] = value
+            return value
 
     # -- constructors ----------------------------------------------------------
 
@@ -118,8 +134,44 @@ class ConfigurationDistribution:
         return dict(self._shares)
 
     def probabilities(self) -> Tuple[float, ...]:
-        """The probability vector, in insertion order."""
-        return tuple(self._shares.values())
+        """The probability vector, in insertion order (memoized)."""
+        return self._memoized("probabilities", lambda: tuple(self._shares.values()))
+
+    def sorted_probabilities(self) -> Tuple[float, ...]:
+        """The probability vector sorted in descending order (memoized).
+
+        This is the layout the Monte-Carlo kernels want: the attacker's
+        greedy top-k picks are then a prefix of the vulnerable entries.
+        """
+        return self._memoized(
+            "sorted_probabilities",
+            lambda: tuple(sorted(self._shares.values(), reverse=True)),
+        )
+
+    def probabilities_array(self, backend=None):
+        """The probability vector as the given backend's array type (cached).
+
+        ``backend`` follows :func:`repro.backend.get_backend` resolution.
+        The array is built once per backend and reused, so kernels receive a
+        ready-made array instead of re-materializing one per call.
+        """
+        from repro.backend import get_backend
+
+        resolved = get_backend(backend)
+        return self._memoized(
+            ("probabilities_array", resolved.name),
+            lambda: resolved.asarray(self.probabilities()),
+        )
+
+    def sorted_probabilities_array(self, backend=None):
+        """Descending probability vector as the backend's array type (cached)."""
+        from repro.backend import get_backend
+
+        resolved = get_backend(backend)
+        return self._memoized(
+            ("sorted_probabilities_array", resolved.name),
+            lambda: resolved.asarray(self.sorted_probabilities()),
+        )
 
     def configurations(self) -> Tuple[ConfigKey, ...]:
         """The configuration keys, in insertion order."""
@@ -127,32 +179,64 @@ class ConfigurationDistribution:
 
     def support(self) -> Tuple[ConfigKey, ...]:
         """Configurations with a strictly positive share."""
-        return tuple(key for key, share in self._shares.items() if share > 0)
+        return self._memoized(
+            "support",
+            lambda: tuple(key for key, share in self._shares.items() if share > 0),
+        )
 
     def support_size(self) -> int:
         """κ — the number of configurations with non-zero share."""
         return len(self.support())
 
+    def _ranked(self) -> Tuple[Tuple[ConfigKey, float], ...]:
+        return self._memoized(
+            "ranked",
+            lambda: tuple(sorted(self._shares.items(), key=lambda item: -item[1])),
+        )
+
     def largest(self, count: int = 1) -> Tuple[Tuple[ConfigKey, float], ...]:
-        """The ``count`` largest (configuration, share) pairs."""
+        """The ``count`` largest (configuration, share) pairs.
+
+        The full ranking is computed once and memoized, so repeated calls
+        (with any ``count``) no longer re-sort the share map.
+        """
         if count < 0:
             raise DistributionError(f"count must be non-negative, got {count}")
-        ranked = sorted(self._shares.items(), key=lambda item: -item[1])
-        return tuple(ranked[:count])
+        return self._ranked()[:count]
 
     # -- diversity metrics ------------------------------------------------------
 
-    def entropy(self, *, base: float = 2.0) -> float:
-        """Shannon entropy ``H(p)`` of this distribution (Section IV-A)."""
-        return entropy_module.shannon_entropy(self.probabilities(), base=base)
+    def entropy(self, *, base: float = 2.0, backend=None) -> float:
+        """Shannon entropy ``H(p)`` of this distribution (Section IV-A).
+
+        Computed on the selected compute backend from the cached probability
+        array and memoized per ``(base, backend)``.  The shares are already
+        validated and normalized by the constructor, so the backend kernel
+        runs without re-validation; the pure-Python backend reproduces
+        :func:`repro.core.entropy.shannon_entropy` exactly, array backends
+        agree to floating-point summation order.
+        """
+        from repro.backend import get_backend
+
+        resolved = get_backend(backend)
+        return self._memoized(
+            ("entropy", base, resolved.name),
+            lambda: resolved.shannon_entropy(
+                self.probabilities_array(resolved), base=base
+            ),
+        )
 
     def normalized_entropy(self) -> float:
         """Entropy divided by the maximum for the current support size."""
         return entropy_module.normalized_entropy(self.probabilities())
 
     def max_entropy(self, *, base: float = 2.0) -> float:
-        """The entropy this distribution would have if it were κ-optimal."""
-        return entropy_module.max_entropy(self.support_size(), base=base)
+        """The entropy this distribution would have if it were κ-optimal
+        (memoized per base)."""
+        return self._memoized(
+            ("max_entropy", base),
+            lambda: entropy_module.max_entropy(self.support_size(), base=base),
+        )
 
     def entropy_deficit(self, *, base: float = 2.0) -> float:
         """``max_entropy - entropy``; zero exactly for κ-optimal distributions."""

@@ -66,5 +66,10 @@ class AnalysisError(ReproError):
     inconsistent inputs."""
 
 
+class BackendError(ReproError):
+    """A compute backend is unknown, unavailable in this environment, or was
+    asked to perform an operation with invalid parameters."""
+
+
 class ExperimentError(ReproError):
     """An experiment driver was configured with invalid parameters."""

@@ -15,9 +15,12 @@ the BFT (1/3) and Nakamoto / hybrid (1/2) tolerance levels.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.monte_carlo import estimate_violation_probability
+from repro.analysis.sweep import mapping_sweep
+from repro.backend import get_backend
+from repro.backend.selection import BackendLike
 from repro.analysis.report import Table
 from repro.core.distribution import ConfigurationDistribution
 from repro.core.exceptions import ExperimentError
@@ -68,14 +71,23 @@ def run_safety_violation(
     exploit_budget: int = 1,
     trials: int = 2000,
     seed: int = 7,
+    backend: BackendLike = None,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> SafetyViolationResult:
-    """Estimate violation probabilities across the census family."""
+    """Estimate violation probabilities across the census family.
+
+    Per-census seeds are fixed (``seed + index``), so ``parallel=True`` fans
+    the censuses out over a thread pool without changing any number in the
+    result.
+    """
     if censuses is None:
         censuses = default_censuses()
     if not censuses:
         raise ExperimentError("at least one census is required")
-    rows = []
-    for index, (label, census) in enumerate(censuses.items()):
+    resolved = get_backend(backend)
+
+    def estimate_row(index: int, label: str, census: ConfigurationDistribution) -> SafetyViolationRow:
         bft = estimate_violation_probability(
             census,
             family=ProtocolFamily.BFT,
@@ -83,6 +95,7 @@ def run_safety_violation(
             exploit_budget=exploit_budget,
             trials=trials,
             seed=seed + index,
+            backend=resolved,
         )
         majority = estimate_violation_probability(
             census,
@@ -91,16 +104,19 @@ def run_safety_violation(
             exploit_budget=exploit_budget,
             trials=trials,
             seed=seed + index,
+            backend=resolved,
         )
-        rows.append(
-            SafetyViolationRow(
-                label=label,
-                entropy_bits=census.entropy(),
-                kappa=census.support_size(),
-                violation_probability_bft=bft.violation_probability,
-                violation_probability_majority=majority.violation_probability,
-            )
+        return SafetyViolationRow(
+            label=label,
+            entropy_bits=census.entropy(),
+            kappa=census.support_size(),
+            violation_probability_bft=bft.violation_probability,
+            violation_probability_majority=majority.violation_probability,
         )
+
+    rows = mapping_sweep(
+        censuses, estimate_row, parallel=parallel, max_workers=max_workers
+    )
     rows.sort(key=lambda row: row.entropy_bits)
     bft_series = [row.violation_probability_bft for row in rows]
     monotone = all(b <= a + 0.05 for a, b in zip(bft_series, bft_series[1:]))

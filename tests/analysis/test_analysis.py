@@ -177,3 +177,101 @@ class TestReport:
         table = Table(headers=("a", "b"))
         table.extend([(1, 2), (3, 4)])
         assert len(table) == 2
+
+
+class TestParallelExecution:
+    """Parallel fan-out must be a pure performance knob: identical results."""
+
+    def test_parallel_sweep_matches_serial(self):
+        serial = sweep([1, 2, 3, 4, 5], lambda x: x * x, parameter_name="n")
+        parallel = sweep(
+            [1, 2, 3, 4, 5], lambda x: x * x, parameter_name="n", parallel=True
+        )
+        assert parallel.points == serial.points
+        assert parallel.parameter_name == "n"
+
+    def test_parallel_sweep_with_bounded_workers(self):
+        result = sweep(range(8), lambda x: -x, parallel=True, max_workers=2)
+        assert result.values() == tuple(-x for x in range(8))
+
+    def test_parallel_empty_sweep_rejected(self):
+        with pytest.raises(AnalysisError):
+            sweep([], lambda x: x, parallel=True)
+
+    def test_parallel_violation_probability_by_entropy_matches_serial(self):
+        censuses = {
+            "monoculture": ConfigurationDistribution({"a": 1.0}),
+            "duopoly": ConfigurationDistribution({"a": 0.6, "b": 0.4}),
+            "uniform-16": uniform_distribution(16),
+            "uniform-32": uniform_distribution(32),
+        }
+        serial = violation_probability_by_entropy(censuses, trials=300, seed=13)
+        parallel = violation_probability_by_entropy(
+            censuses, trials=300, seed=13, parallel=True, max_workers=3
+        )
+        assert parallel == serial
+
+    def test_parallel_safety_violation_experiment_matches_serial(self):
+        from repro.experiments.safety_violation import run_safety_violation
+
+        censuses = {
+            "duopoly": ConfigurationDistribution({"a": 0.7, "b": 0.3}),
+            "uniform-8": uniform_distribution(8),
+            "uniform-64": uniform_distribution(64),
+        }
+        serial = run_safety_violation(censuses=censuses, trials=300)
+        parallel = run_safety_violation(censuses=censuses, trials=300, parallel=True)
+        assert parallel == serial
+
+
+class TestBenchmarkHarness:
+    def test_benchmark_backends_reports_each_backend(self):
+        from repro.analysis.benchmark import benchmark_backends
+        from repro.backend import available_backends
+
+        report = benchmark_backends(trials=200, configs=20, repeats=1)
+        assert {timing.backend for timing in report.timings} == set(available_backends())
+        for timing in report.timings:
+            assert timing.seconds > 0
+            assert timing.trials_per_second > 0
+        assert report.speedup_over_python("python") == pytest.approx(1.0)
+
+    def test_benchmark_snapshot_roundtrip(self, tmp_path):
+        import json
+
+        from repro.analysis.benchmark import benchmark_backends, write_snapshot
+
+        report = benchmark_backends(trials=100, configs=10, repeats=1)
+        path = tmp_path / "BENCH.json"
+        write_snapshot(report, str(path))
+        document = json.loads(path.read_text())
+        assert document["benchmark"] == "monte_carlo_estimator"
+        assert document["workload"]["trials"] == 100
+        assert "python" in document["results"]
+
+    def test_benchmark_rejects_invalid_workload(self):
+        from repro.analysis.benchmark import benchmark_backends
+
+        with pytest.raises(AnalysisError):
+            benchmark_backends(trials=0)
+        with pytest.raises(AnalysisError):
+            benchmark_backends(repeats=0)
+        with pytest.raises(AnalysisError):
+            benchmark_backends(backends=())
+
+    def test_mapping_sweep_enumerates_in_order(self):
+        from repro.analysis.sweep import mapping_sweep
+
+        items = {"a": 10, "b": 20, "c": 30}
+        serial = mapping_sweep(items, lambda i, k, v: (i, k, v * 2))
+        assert serial == [(0, "a", 20), (1, "b", 40), (2, "c", 60)]
+        parallel = mapping_sweep(
+            items, lambda i, k, v: (i, k, v * 2), parallel=True, max_workers=2
+        )
+        assert parallel == serial
+
+    def test_mapping_sweep_rejects_empty_mapping(self):
+        from repro.analysis.sweep import mapping_sweep
+
+        with pytest.raises(AnalysisError):
+            mapping_sweep({}, lambda i, k, v: v)

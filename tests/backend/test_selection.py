@@ -1,0 +1,112 @@
+"""Tests for backend registration and selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import (
+    AUTO,
+    BACKEND_ENV_VAR,
+    ComputeBackend,
+    NumpyBackend,
+    PythonBackend,
+    available_backends,
+    get_backend,
+    registered_backends,
+    set_default_backend,
+    use_backend,
+)
+from repro.core.exceptions import BackendError
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection_state(monkeypatch):
+    """Isolate each test from the process-wide default and the env var."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    previous = set_default_backend(None)
+    yield
+    set_default_backend(previous)
+
+
+class TestRegistry:
+    def test_python_backend_is_always_registered_and_available(self):
+        assert "python" in registered_backends()
+        assert "python" in available_backends()
+
+    def test_numpy_backend_is_registered(self):
+        assert "numpy" in registered_backends()
+
+    def test_available_is_subset_of_registered(self):
+        assert set(available_backends()) <= set(registered_backends())
+
+
+class TestGetBackend:
+    def test_explicit_name_resolves(self):
+        assert get_backend("python").name == "python"
+
+    def test_name_is_case_insensitive_and_stripped(self):
+        assert get_backend(" Python ").name == "python"
+
+    def test_instances_are_cached(self):
+        assert get_backend("python") is get_backend("python")
+
+    def test_instance_passes_through(self):
+        backend = get_backend("python")
+        assert get_backend(backend) is backend
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(BackendError):
+            get_backend("fortran")
+
+    def test_auto_prefers_numpy_when_available(self):
+        expected = "numpy" if NumpyBackend.is_available() else "python"
+        assert get_backend(AUTO).name == expected
+        assert get_backend().name == expected
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert get_backend().name == "python"
+
+    def test_env_var_with_unknown_backend_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "gpu")
+        with pytest.raises(BackendError):
+            get_backend()
+
+    def test_explicit_argument_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        if NumpyBackend.is_available():
+            assert get_backend("numpy").name == "numpy"
+
+    def test_default_beats_env_var(self, monkeypatch):
+        if not NumpyBackend.is_available():
+            pytest.skip("numpy not installed")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        set_default_backend("python")
+        assert get_backend().name == "python"
+
+
+class TestDefaultBackend:
+    def test_set_and_restore_default(self):
+        assert set_default_backend("python") is None
+        assert get_backend().name == "python"
+        assert set_default_backend(None) == "python"
+
+    def test_set_default_validates_eagerly(self):
+        with pytest.raises(BackendError):
+            set_default_backend("not-a-backend")
+
+    def test_use_backend_context_manager_scopes_the_default(self):
+        with use_backend("python") as backend:
+            assert isinstance(backend, PythonBackend)
+            assert get_backend().name == "python"
+        expected = "numpy" if NumpyBackend.is_available() else "python"
+        assert get_backend().name == expected
+
+
+class TestBackendProtocol:
+    def test_backends_are_compute_backends(self):
+        for name in available_backends():
+            assert isinstance(get_backend(name), ComputeBackend)
+
+    def test_repr_names_the_backend(self):
+        assert "python" in repr(get_backend("python"))

@@ -151,3 +151,52 @@ class TestTransformations:
         dist = ConfigurationDistribution({"a": 1.0})
         with pytest.raises(DistributionError):
             dist.split_configuration("missing", 2)
+
+
+class TestMemoization:
+    """The distribution is frozen after init, so derived values are cached."""
+
+    def test_probabilities_are_memoized(self):
+        dist = ConfigurationDistribution({"a": 0.5, "b": 0.3, "c": 0.2})
+        assert dist.probabilities() is dist.probabilities()
+
+    def test_sorted_probabilities_descending(self):
+        dist = ConfigurationDistribution({"a": 0.2, "b": 0.5, "c": 0.3})
+        assert dist.sorted_probabilities() == (0.5, 0.3, 0.2)
+        assert dist.sorted_probabilities() is dist.sorted_probabilities()
+
+    def test_entropy_is_memoized_per_base(self):
+        dist = ConfigurationDistribution({"a": 1, "b": 1, "c": 1, "d": 1})
+        assert dist.entropy() == pytest.approx(2.0)
+        assert dist.entropy() == dist.entropy()
+        assert dist.entropy(base=4.0) == pytest.approx(1.0)
+
+    def test_max_entropy_is_memoized(self):
+        dist = ConfigurationDistribution({"a": 1, "b": 1})
+        assert dist.max_entropy() == pytest.approx(1.0)
+        assert dist.max_entropy() == dist.max_entropy()
+
+    def test_largest_uses_cached_ranking(self):
+        dist = ConfigurationDistribution({"a": 0.2, "b": 0.5, "c": 0.3})
+        assert dist.largest(1) == (("b", 0.5),)
+        assert dist.largest(2) == (("b", 0.5), ("c", 0.3))
+        assert dist.largest(99) == (("b", 0.5), ("c", 0.3), ("a", 0.2))
+        with pytest.raises(DistributionError):
+            dist.largest(-1)
+
+    def test_probabilities_array_is_cached_per_backend(self):
+        from repro.backend import available_backends
+
+        dist = ConfigurationDistribution({"a": 0.6, "b": 0.4})
+        for backend in available_backends():
+            array = dist.probabilities_array(backend)
+            assert array is dist.probabilities_array(backend)
+            assert list(array) == list(dist.probabilities())
+            sorted_array = dist.sorted_probabilities_array(backend)
+            assert list(sorted_array) == [0.6, 0.4]
+
+    def test_memoization_does_not_leak_across_instances(self):
+        first = ConfigurationDistribution({"a": 1, "b": 1})
+        second = ConfigurationDistribution({"a": 3, "b": 1})
+        assert first.entropy() == pytest.approx(1.0)
+        assert second.entropy() < first.entropy()

@@ -54,3 +54,64 @@ class TestEntropyCommand:
     def test_missing_command_exits_with_usage_error(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBackendsCommand:
+    def test_backends_lists_registered_backends(self, capsys):
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        assert "python" in output
+        assert "numpy" in output
+        assert "yes" in output
+
+    def test_global_backend_flag_changes_active_backend(self, capsys):
+        assert main(["--backend", "python", "backends"]) == 0
+        output = capsys.readouterr().out
+        python_row = next(line for line in output.splitlines() if line.startswith("python"))
+        assert "yes" in python_row  # available AND active
+
+    def test_backend_flag_is_restored_after_the_command(self, capsys, monkeypatch):
+        from repro.backend import BACKEND_ENV_VAR, NumpyBackend, get_backend
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        main(["--backend", "python", "list"])
+        capsys.readouterr()
+        expected = "numpy" if NumpyBackend.is_available() else "python"
+        assert get_backend().name == expected
+
+    def test_unknown_backend_is_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["--backend", "fortran", "list"])
+
+
+class TestBenchCommand:
+    def test_bench_prints_table_for_every_backend(self, capsys):
+        assert main(["bench", "--trials", "100", "--configs", "10", "--repeats", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "trials/sec" in output
+        assert "python" in output
+
+    def test_bench_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        snapshot = tmp_path / "BENCH_TEST.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--trials", "100",
+                    "--configs", "10",
+                    "--repeats", "1",
+                    "--output", str(snapshot),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        document = json.loads(snapshot.read_text())
+        assert document["workload"]["configs"] == 10
+        assert set(document["results"])  # at least one backend measured
+
+    def test_bench_rejects_bad_workload(self, capsys):
+        assert main(["bench", "--trials", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
