@@ -9,7 +9,7 @@ and by ``EXPERIMENTS.md`` generation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.exceptions import AnalysisError
 
@@ -26,11 +26,17 @@ def _format_cell(cell: Cell, float_digits: int) -> str:
 
 @dataclass
 class Table:
-    """A simple column-aligned text table."""
+    """A simple column-aligned text table.
+
+    ``title`` is optional provenance used when a table travels inside a
+    structured experiment result (several tables per experiment need telling
+    apart); the text renderer ignores it.
+    """
 
     headers: Sequence[str]
     rows: List[Sequence[Cell]] = field(default_factory=list)
     float_digits: int = 4
+    title: Optional[str] = None
 
     def add_row(self, *cells: Cell) -> None:
         """Append one row; the cell count must match the headers."""
@@ -54,6 +60,45 @@ class Table:
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The table as a JSON-ready dict with **raw** (unformatted) cells.
+
+        Cell types survive a JSON round-trip unchanged: ``bool`` stays bool
+        (not collapsed into int), floats keep full precision — formatting is
+        applied only at :meth:`render` time.
+        """
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "float_digits": self.float_digits,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "Table":
+        """Rebuild a table from :meth:`to_dict` output (validating shape)."""
+        try:
+            raw_headers = document["headers"]
+            rows = document.get("rows", [])
+            float_digits = int(document.get("float_digits", 4))
+            title = document.get("title")
+        except (KeyError, TypeError, ValueError) as error:
+            raise AnalysisError(f"malformed table document: {error}") from error
+        if isinstance(raw_headers, (str, bytes)) or not isinstance(raw_headers, Sequence):
+            # A bare string would silently split into one column per character.
+            raise AnalysisError(f"table headers must be a sequence, got {raw_headers!r}")
+        headers = tuple(raw_headers)
+        if not headers:
+            raise AnalysisError("a table needs at least one column")
+        if title is not None and not isinstance(title, str):
+            raise AnalysisError(f"table title must be a string, got {title!r}")
+        table = cls(headers=headers, float_digits=float_digits, title=title)
+        for row in rows:
+            if isinstance(row, (str, bytes)) or not isinstance(row, Sequence):
+                raise AnalysisError(f"table row must be a sequence of cells, got {row!r}")
+            table.add_row(*row)
+        return table
 
 
 def format_table(

@@ -3,7 +3,10 @@
 Five subcommands cover the common workflows without writing Python:
 
 - ``list``     — show the available experiments (one per paper artifact);
-- ``run``      — run one, several or all experiments and print their tables;
+- ``run``      — run experiments through the orchestrator: name/tag
+  filtering, ``--shard i/n`` splitting for CI fan-out, process-parallel
+  execution, a content-addressed result cache, a ``RESULTS.json`` artifact
+  and golden-snapshot regeneration;
 - ``entropy``  — quick diversity analysis of a voting-power distribution given
   as ``name=power`` pairs (e.g. mining-pool shares), reporting the Shannon
   entropy, the full diversity profile and which protocol tolerances a single
@@ -20,6 +23,9 @@ Examples::
     python -m repro.cli list
     python -m repro.cli run figure1 example1
     python -m repro.cli --backend python run --all
+    python -m repro.cli run --tag monte-carlo --parallel
+    python -m repro.cli run --shard 1/2 --results RESULTS.json
+    python -m repro.cli run --all --update-golden
     python -m repro.cli entropy foundry=34.2 antpool=20.0 f2pool=13.0 rest=32.8
     python -m repro.cli backends
     python -m repro.cli bench --trials 10000 --configs 1000 --output BENCH_1.json
@@ -28,8 +34,10 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.analysis.benchmark import benchmark_backends, write_snapshot
 from repro.analysis.report import Table
@@ -41,9 +49,32 @@ from repro.backend import (
     set_default_backend,
 )
 from repro.core.distribution import ConfigurationDistribution
-from repro.core.exceptions import ReproError
+from repro.core.exceptions import OrchestrationError, ReproError
 from repro.core.resilience import ProtocolFamily, tolerated_fault_fraction
-from repro.experiments import runner as experiment_runner
+from repro.experiments.orchestrator import (
+    ExperimentResult,
+    ResultCache,
+    execute_spec,
+    experiment_banner,
+    filter_specs,
+    parse_shard,
+    results_document,
+    run_experiments,
+    select_shard,
+    write_results_document,
+)
+from repro.experiments.orchestrator import registry
+from repro.experiments.orchestrator.spec import ExperimentSpec
+
+#: Default directory for the golden-snapshot regression files.
+DEFAULT_GOLDEN_DIR = os.path.join("tests", "golden")
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -62,7 +93,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list the available experiments")
 
-    run_parser = subparsers.add_parser("run", help="run experiments and print their tables")
+    run_parser = subparsers.add_parser(
+        "run",
+        help="run experiments through the orchestrator "
+        "(filtering, sharding, caching, RESULTS.json)",
+    )
     run_parser.add_argument(
         "experiments",
         nargs="*",
@@ -71,6 +106,76 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--all", action="store_true", help="run every experiment (same as no names)"
+    )
+    run_parser.add_argument(
+        "--tag",
+        action="append",
+        default=None,
+        metavar="TAG",
+        help="only experiments carrying this tag (repeatable; OR semantics)",
+    )
+    run_parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run the I-th of N round-robin shards of the selection "
+        "(1-based; shards union back to the full selection)",
+    )
+    run_parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan the experiments out over a process pool "
+        "(results identical to a serial run)",
+    )
+    run_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="process-pool size (implies --parallel)",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache entirely (no reads, no writes)",
+    )
+    run_parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute even on a cache hit (the fresh result is re-cached)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    run_parser.add_argument(
+        "--results",
+        default=None,
+        metavar="PATH",
+        help="write the structured RESULTS.json artifact here",
+    )
+    run_parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="merge into an existing --results file instead of replacing it "
+        "(how sharded CI runs assemble one artifact)",
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the text reports"
+    )
+    run_parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="regenerate the golden-snapshot files for the selected experiments "
+        "(per backend where the numbers are backend-sensitive)",
+    )
+    run_parser.add_argument(
+        "--golden-dir",
+        default=DEFAULT_GOLDEN_DIR,
+        metavar="PATH",
+        help=f"golden snapshot directory (default: {DEFAULT_GOLDEN_DIR})",
     )
 
     entropy_parser = subparsers.add_parser(
@@ -110,26 +215,101 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _known_experiment_names() -> List[str]:
-    return [name for name, _ in experiment_runner.ALL_EXPERIMENTS]
-
-
 def _command_list() -> int:
     print("available experiments:")
-    for name in _known_experiment_names():
+    for name in registry.experiment_ids():
         print(f"  {name}")
     return 0
 
 
-def _command_run(names: Sequence[str], run_all: bool) -> int:
-    known = set(_known_experiment_names())
-    selected = [] if run_all else list(names)
-    unknown = [name for name in selected if name not in known]
-    if unknown:
-        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
-        print(f"known experiments: {', '.join(sorted(known))}", file=sys.stderr)
+def _golden_path(directory: str, spec: ExperimentSpec, backend: Optional[str]) -> str:
+    """Golden file path: per-backend for backend-sensitive experiments."""
+    if spec.backend_sensitive:
+        return os.path.join(directory, f"{spec.experiment_id}.{backend}.json")
+    return os.path.join(directory, f"{spec.experiment_id}.json")
+
+
+def _update_golden(
+    specs: Sequence[ExperimentSpec],
+    directory: str,
+    results_by_id: Mapping[str, ExperimentResult],
+    ambient_backend: str,
+) -> None:
+    """Regenerate the golden snapshots for ``specs`` under ``directory``.
+
+    ``results_by_id`` holds the run's already-computed results so the
+    ambient backend's numbers are not recomputed; only the *other* backends'
+    variants of backend-sensitive experiments run fresh.
+    """
+    unavailable = set(registered_backends()) - set(available_backends()) - {AUTO}
+    if unavailable and any(spec.backend_sensitive for spec in specs):
+        print(
+            "warning: backend(s) not available here: "
+            f"{', '.join(sorted(unavailable))} — their golden snapshots are "
+            "NOT regenerated and may now be stale",
+            file=sys.stderr,
+        )
+    os.makedirs(directory, exist_ok=True)
+    for spec in specs:
+        backends = available_backends() if spec.backend_sensitive else (None,)
+        for backend in backends:
+            if backend is None or backend == ambient_backend:
+                result = results_by_id[spec.experiment_id]
+            else:
+                result = execute_spec(spec, backend=backend)
+            path = _golden_path(directory, spec, backend)
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    result.canonical_dict(),
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                    allow_nan=False,
+                )
+                handle.write("\n")
+            print(f"golden snapshot written: {path}")
+
+
+def _command_run(arguments: argparse.Namespace) -> int:
+    names = [] if arguments.all else list(arguments.experiments)
+    try:
+        selected = filter_specs(
+            registry.all_specs(), names=names, tags=tuple(arguments.tag or ())
+        )
+        if arguments.shard is not None:
+            index, count = parse_shard(arguments.shard)
+            selected = select_shard(selected, index, count)
+    except OrchestrationError as error:
+        # Selection errors (unknown name/tag, bad shard) are usage errors:
+        # exit 2, like argparse, rather than the generic runtime-error 1.
+        print(f"error: {error}", file=sys.stderr)
         return 2
-    experiment_runner.run_all(selected)
+    cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
+    results = run_experiments(
+        selected,
+        parallel=arguments.parallel or arguments.jobs is not None,
+        max_workers=arguments.jobs,
+        cache=cache,
+        force=arguments.force,
+    )
+    if not arguments.quiet:
+        for spec, result in zip(selected, results):
+            print(experiment_banner(spec.experiment_id))
+            print(spec.render(result))
+            print()
+    if arguments.results:
+        document = results_document(
+            results, shard=arguments.shard, backend=get_backend().name
+        )
+        write_results_document(document, arguments.results, merge=arguments.merge)
+        print(f"results written to {arguments.results}")
+    if arguments.update_golden:
+        _update_golden(
+            selected,
+            arguments.golden_dir,
+            {result.experiment_id: result for result in results},
+            get_backend().name,
+        )
     return 0
 
 
@@ -225,7 +405,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if arguments.command == "list":
             return _command_list()
         if arguments.command == "run":
-            return _command_run(arguments.experiments, arguments.all)
+            return _command_run(arguments)
         if arguments.command == "entropy":
             return _command_entropy(arguments.shares)
         if arguments.command == "backends":

@@ -73,3 +73,9 @@ class BackendError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was configured with invalid parameters."""
+
+
+class OrchestrationError(ReproError):
+    """The experiment orchestrator was misconfigured: unknown experiment
+    name or tag, malformed shard specification, or a corrupt result cache
+    entry / results document."""

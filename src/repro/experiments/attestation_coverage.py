@@ -28,6 +28,12 @@ from repro.core.exceptions import ExperimentError
 from repro.core.population import ReplicaPopulation
 from repro.datasets.software_ecosystem import SyntheticEcosystem, default_ecosystem
 from repro.diversity.monitor import DiversityMonitor
+from repro.experiments.orchestrator import (
+    ExperimentResult,
+    ExperimentSpec,
+    ResultPayload,
+    execute_spec,
+)
 
 
 @dataclass(frozen=True)
@@ -134,11 +140,60 @@ def coverage_table(result: AttestationCoverageResult) -> Table:
     return table
 
 
+@dataclass(frozen=True)
+class AttestationCoverageParams:
+    """Orchestrator parameters for the attestation-coverage sweep."""
+
+    population_size: int = 300
+    fractions: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+    seed: int = 11
+
+
+def build_payload(params: AttestationCoverageParams = None) -> ResultPayload:
+    """Run the coverage sweep as a structured payload."""
+    params = params or AttestationCoverageParams()
+    result = run_attestation_coverage(
+        population_size=params.population_size,
+        fractions=tuple(params.fractions),
+        seed=params.seed,
+    )
+    table = coverage_table(result)
+    table.title = "coverage_sweep"
+    full = result.rows[-1]
+    return ResultPayload(
+        tables=(table,),
+        metrics={
+            "true_entropy_bits": full.true_entropy_bits,
+            "full_coverage_unknown_fraction": full.unknown_power_fraction,
+        },
+    )
+
+
+def render_result(result: ExperimentResult) -> str:
+    """The classic attestation-coverage stdout report."""
+    return "\n".join(
+        [
+            f"Attestation coverage sweep over {result.params['population_size']} replicas",
+            result.tables[0].render(),
+        ]
+    )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="attestation_coverage",
+    title="Configuration discovery via remote attestation (coverage sweep)",
+    build=build_payload,
+    render=render_result,
+    params_type=AttestationCoverageParams,
+    tags=("extension", "attestation"),
+    seed=11,
+    backend_sensitive=False,
+)
+
+
 def main(argv: Sequence[str] = ()) -> None:
     """Run the attestation-coverage experiment and print the table."""
-    result = run_attestation_coverage()
-    print(f"Attestation coverage sweep over {result.population_size} replicas")
-    print(coverage_table(result).render())
+    print(render_result(execute_spec(SPEC)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -31,6 +31,12 @@ from repro.datasets.software_ecosystem import (
     default_ecosystem,
     skewed_ecosystem,
 )
+from repro.experiments.orchestrator import (
+    ExperimentResult,
+    ExperimentSpec,
+    ResultPayload,
+    execute_spec,
+)
 
 
 @dataclass(frozen=True)
@@ -136,19 +142,74 @@ def exposure_table(result: ComponentExposureResult) -> Table:
     return table
 
 
+@dataclass(frozen=True)
+class ComponentExposureParams:
+    """Orchestrator parameters for the component-exposure decomposition."""
+
+    population_size: int = 400
+    seed: int = 51
+
+
+def build_payload(params: ComponentExposureParams = None) -> ResultPayload:
+    """Run the decomposition as a structured payload (default ecosystems)."""
+    params = params or ComponentExposureParams()
+    result = run_component_exposure(
+        population_size=params.population_size, seed=params.seed
+    )
+    table = exposure_table(result)
+    table.title = "per_kind_profiles"
+    return ResultPayload(
+        tables=(table,),
+        metrics={
+            "skewed_has_critical_slot": result.skewed_has_critical_slot,
+            "diverse_has_no_critical_slot": result.diverse_has_no_critical_slot,
+            "ecosystems": [
+                {
+                    "label": entry.label,
+                    "population_entropy_bits": entry.population_entropy_bits,
+                    "weakest_kind": entry.weakest_kind,
+                    "weakest_share": entry.weakest_share,
+                    "priority_component_count": len(entry.priority_components),
+                }
+                for entry in result.ecosystems
+            ],
+        },
+    )
+
+
+def render_result(result: ExperimentResult) -> str:
+    """The classic component-exposure stdout report."""
+    lines = [
+        f"Component-level exposure over {result.params['population_size']}-replica populations",
+        result.tables[0].render(),
+        "",
+    ]
+    for entry in result.metrics["ecosystems"]:
+        lines.append(
+            f"{entry['label']}: population entropy "
+            f"{entry['population_entropy_bits']:.3f} bits; "
+            f"weakest slot = {entry['weakest_kind']} "
+            f"(dominant choice holds {entry['weakest_share']:.0%} of power); "
+            f"{entry['priority_component_count']} components above the BFT tolerance"
+        )
+    return "\n".join(lines)
+
+
+SPEC = ExperimentSpec(
+    experiment_id="component_exposure",
+    title="Component-level exposure: which component slot is the weakest link?",
+    build=build_payload,
+    render=render_result,
+    params_type=ComponentExposureParams,
+    tags=("extension", "components"),
+    seed=51,
+    backend_sensitive=False,
+)
+
+
 def main(argv: Sequence[str] = ()) -> None:
     """Run the component-exposure experiment and print the tables."""
-    result = run_component_exposure()
-    print(f"Component-level exposure over {result.population_size}-replica populations")
-    print(exposure_table(result).render())
-    print()
-    for entry in result.ecosystems:
-        print(
-            f"{entry.label}: population entropy {entry.population_entropy_bits:.3f} bits; "
-            f"weakest slot = {entry.weakest_kind} "
-            f"(dominant choice holds {entry.weakest_share:.0%} of power); "
-            f"{len(entry.priority_components)} components above the BFT tolerance"
-        )
+    print(render_result(execute_spec(SPEC)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

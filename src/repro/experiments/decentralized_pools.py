@@ -20,6 +20,12 @@ from typing import List, Sequence, Tuple
 
 from repro.analysis.report import Table
 from repro.core.exceptions import ExperimentError
+from repro.experiments.orchestrator import (
+    ExperimentResult,
+    ExperimentSpec,
+    ResultPayload,
+    execute_spec,
+)
 from repro.nakamoto.decentralized_pool import (
     decentralization_report,
     operator_takeover_fraction,
@@ -123,21 +129,70 @@ def decentralization_table(result: DecentralizedPoolsResult) -> Table:
     return table
 
 
+@dataclass(frozen=True)
+class DecentralizedPoolsParams:
+    """Orchestrator parameters for the pool-decentralization sweep."""
+
+    residual_miners: int = 100
+    members_per_pool: int = 20
+    coalition_size: int = 3
+    steps: Tuple[int, ...] = (0, 1, 2, 3, 5, 10, 17)
+
+
+def build_payload(params: DecentralizedPoolsParams = None) -> ResultPayload:
+    """Run the decentralization sweep as a structured payload."""
+    params = params or DecentralizedPoolsParams()
+    result = run_decentralized_pools(
+        residual_miners=params.residual_miners,
+        members_per_pool=params.members_per_pool,
+        coalition_size=params.coalition_size,
+        steps=tuple(params.steps),
+    )
+    table = decentralization_table(result)
+    table.title = "decentralization_sweep"
+    return ResultPayload(
+        tables=(table,),
+        metrics={
+            "entropy_is_monotone": result.entropy_is_monotone,
+            "breaks_majority_at": result.breaks_majority_at,
+        },
+    )
+
+
+def render_result(result: ExperimentResult) -> str:
+    """The classic decentralized-pools stdout report."""
+    lines = [
+        "Decentralized pools / non-outsourceable mining on the Example 1 snapshot "
+        f"({result.params['members_per_pool']} members per pool)",
+        result.tables[0].render(),
+        "",
+        "entropy grows with every decentralized pool : "
+        f"{result.metrics['entropy_is_monotone']}",
+    ]
+    breaks_at = result.metrics["breaks_majority_at"]
+    if breaks_at >= 0:
+        lines.append(
+            f"a top-{result.params['coalition_size']} operator coalition loses its "
+            f"majority once the {breaks_at} largest pools are decentralized"
+        )
+    return "\n".join(lines)
+
+
+SPEC = ExperimentSpec(
+    experiment_id="decentralized_pools",
+    title="Decentralized pools / non-outsourceable mining (Example 1 snapshot)",
+    build=build_payload,
+    render=render_result,
+    params_type=DecentralizedPoolsParams,
+    tags=("extension", "nakamoto"),
+    seed=None,
+    backend_sensitive=False,
+)
+
+
 def main(argv: Sequence[str] = ()) -> None:
     """Run the decentralized-pools experiment and print the table."""
-    result = run_decentralized_pools()
-    print(
-        "Decentralized pools / non-outsourceable mining on the Example 1 snapshot "
-        f"({result.members_per_percent} members per pool)"
-    )
-    print(decentralization_table(result).render())
-    print()
-    print(f"entropy grows with every decentralized pool : {result.entropy_is_monotone}")
-    if result.breaks_majority_at >= 0:
-        print(
-            f"a top-{result.coalition_size} operator coalition loses its majority once the "
-            f"{result.breaks_majority_at} largest pools are decentralized"
-        )
+    print(render_result(execute_spec(SPEC)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

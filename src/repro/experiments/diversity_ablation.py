@@ -28,6 +28,12 @@ from repro.core.exceptions import ExperimentError
 from repro.core.resilience import ProtocolFamily, tolerated_fault_fraction
 from repro.datasets.software_ecosystem import SyntheticEcosystem, default_ecosystem
 from repro.diversity.planner import AssignmentPlan, EntropyPlanner
+from repro.experiments.orchestrator import (
+    ExperimentResult,
+    ExperimentSpec,
+    ResultPayload,
+    execute_spec,
+)
 
 
 @dataclass(frozen=True)
@@ -170,16 +176,66 @@ def ablation_table(result: DiversityAblationResult) -> Table:
     return table
 
 
+@dataclass(frozen=True)
+class DiversityAblationParams:
+    """Orchestrator parameters for the diversity-management ablation."""
+
+    replica_count: int = 60
+    per_kind_limit: int = 2
+    vulnerability_probability: float = 0.3
+    trials: int = 1500
+    seed: int = 31
+
+
+def build_payload(params: DiversityAblationParams = None) -> ResultPayload:
+    """Run the ablation as a structured payload."""
+    params = params or DiversityAblationParams()
+    result = run_diversity_ablation(
+        replica_count=params.replica_count,
+        per_kind_limit=params.per_kind_limit,
+        vulnerability_probability=params.vulnerability_probability,
+        trials=params.trials,
+        seed=params.seed,
+    )
+    table = ablation_table(result)
+    table.title = "strategy_ablation"
+    return ResultPayload(
+        tables=(table,),
+        metrics={
+            "candidate_count": result.candidate_count,
+            "planner_beats_baselines": result.planner_beats_baselines,
+        },
+    )
+
+
+def render_result(result: ExperimentResult) -> str:
+    """The classic diversity-ablation stdout report."""
+    return "\n".join(
+        [
+            f"Diversity-management ablation: {result.params['replica_count']} replicas over "
+            f"{result.metrics['candidate_count']} candidate configurations",
+            result.tables[0].render(),
+            "",
+            f"the planner dominates both baselines: {result.metrics['planner_beats_baselines']}",
+        ]
+    )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="diversity_ablation",
+    title="Diversity-management ablation: planner vs proportional vs monoculture",
+    build=build_payload,
+    render=render_result,
+    params_type=DiversityAblationParams,
+    tags=("extension", "monte-carlo"),
+    seed=31,
+    backend_sensitive=True,
+)
+
+
 def main(argv: Sequence[str] = ()) -> None:
     """Run the diversity-management ablation and print the table."""
-    result = run_diversity_ablation()
-    print(
-        f"Diversity-management ablation: {result.replica_count} replicas over "
-        f"{result.candidate_count} candidate configurations"
-    )
-    print(ablation_table(result).render())
-    print()
-    print(f"the planner dominates both baselines: {result.planner_beats_baselines}")
+    print(render_result(execute_spec(SPEC)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -22,6 +22,12 @@ from repro.core.exceptions import ExperimentError
 from repro.core.optimality import minimum_kappa_for_entropy
 from repro.datasets.bitcoin_pools import figure1_distribution
 from repro.experiments.figure1 import run_figure1
+from repro.experiments.orchestrator import (
+    ExperimentResult,
+    ExperimentSpec,
+    ResultPayload,
+    execute_spec,
+)
 
 
 @dataclass(frozen=True)
@@ -89,11 +95,57 @@ def comparison_table(result: Example1Result) -> Table:
     return table
 
 
+@dataclass(frozen=True)
+class Example1Params:
+    """Orchestrator parameters for the Example 1 comparison."""
+
+    max_residual_miners: int = 1000
+
+
+def build_payload(params: Example1Params = None) -> ResultPayload:
+    """Run Example 1 and pack the comparison into a structured payload."""
+    params = params or Example1Params()
+    result = run_example1(max_residual_miners=params.max_residual_miners)
+    table = comparison_table(result)
+    table.title = "comparison"
+    return ResultPayload(
+        tables=(table,),
+        metrics={
+            "bitcoin_best_entropy_bits": result.bitcoin_best_entropy_bits,
+            "bitcoin_entropy_at_x101": result.bitcoin_entropy_at_x101,
+            "bft8_entropy_bits": result.bft8_entropy_bits,
+            "bitcoin_below_bft8": result.bitcoin_below_bft8,
+            "effective_configurations": result.effective_configurations,
+            "equivalent_bft_size": result.equivalent_bft_size,
+        },
+    )
+
+
+def render_result(result: ExperimentResult) -> str:
+    """The classic Example 1 stdout report."""
+    return "\n".join(
+        [
+            "Example 1 -- Bitcoin best-case diversity vs an 8-replica BFT system",
+            result.tables[0].render(),
+        ]
+    )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="example1",
+    title="Example 1: Bitcoin best-case diversity vs an 8-replica BFT system",
+    build=build_payload,
+    render=render_result,
+    params_type=Example1Params,
+    tags=("paper", "example"),
+    seed=None,
+    backend_sensitive=False,
+)
+
+
 def main(argv: Sequence[str] = ()) -> None:
     """Reproduce Example 1 and print the comparison."""
-    result = run_example1()
-    print("Example 1 -- Bitcoin best-case diversity vs an 8-replica BFT system")
-    print(comparison_table(result).render())
+    print(render_result(execute_spec(SPEC)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

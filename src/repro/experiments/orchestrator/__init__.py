@@ -1,0 +1,69 @@
+"""Experiment orchestration: specs, structured results, caching, parallel runs.
+
+The orchestrator turns the 13 print-only experiment drivers into a
+machine-readable pipeline:
+
+- every experiment registers an :class:`ExperimentSpec` (id, tags, seed,
+  parameter dataclass) and produces an :class:`ExperimentResult` — tables,
+  headline metrics and run metadata, serializable to JSON;
+- the engine (:func:`run_experiments`) executes selections serially or over
+  a process pool with deterministic per-experiment seeding, so parallel,
+  sharded and serial runs emit byte-identical canonical JSON;
+- a content-addressed :class:`ResultCache` (keyed on code + params + backend)
+  makes repeat invocations free;
+- ``repro.cli run`` exposes all of it (``--tag``, ``--shard i/n``,
+  ``--parallel``, ``--no-cache``/``--force``, ``--results RESULTS.json``) and
+  the golden-snapshot suite under ``tests/golden/`` locks the numbers down.
+
+Import note: ``repro.experiments.orchestrator.registry`` imports every
+experiment module and must therefore not be imported here (the experiment
+modules import *this* package for their ``SPEC`` definitions); import the
+registry directly where needed.
+"""
+
+from repro.experiments.orchestrator.cache import (
+    CACHE_DIR_ENV_VAR,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.experiments.orchestrator.engine import execute_spec, run_experiments
+from repro.experiments.orchestrator.result import (
+    RESULT_SCHEMA_VERSION,
+    ExperimentResult,
+    ResultPayload,
+    jsonify,
+    load_results_document,
+    merge_results_documents,
+    results_document,
+    write_results_document,
+)
+from repro.experiments.orchestrator.spec import (
+    ExperimentSpec,
+    experiment_banner,
+    filter_specs,
+    parse_shard,
+    select_shard,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV_VAR",
+    "DEFAULT_CACHE_DIR",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "RESULT_SCHEMA_VERSION",
+    "ResultCache",
+    "ResultPayload",
+    "default_cache_dir",
+    "execute_spec",
+    "experiment_banner",
+    "filter_specs",
+    "jsonify",
+    "load_results_document",
+    "merge_results_documents",
+    "parse_shard",
+    "results_document",
+    "run_experiments",
+    "select_shard",
+    "write_results_document",
+]

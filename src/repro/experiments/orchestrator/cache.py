@@ -1,0 +1,152 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A cache entry's key is the SHA-256 of everything the result depends on:
+
+- the experiment id and its JSON-canonical parameters;
+- a **code fingerprint** — the hash of every ``repro`` source file plus the
+  orchestrator's result schema version.  Experiments reach through
+  ``analysis``, ``core``, ``backend`` and friends, so the fingerprint is
+  deliberately package-wide: any source edit invalidates the whole cache
+  rather than risking a stale number (the full suite rebuilds in seconds);
+- the resolved backend name for backend-sensitive experiments (``"-"`` for
+  backend-independent ones, whose numbers are the same everywhere).
+
+Entries are whole :meth:`ExperimentResult.to_dict` documents written
+atomically (temp file + rename), so a killed run never leaves a torn entry.
+Corrupt or unreadable entries degrade to cache misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Mapping, Optional
+
+from repro.core.exceptions import OrchestrationError
+from repro.experiments.orchestrator.result import (
+    RESULT_SCHEMA_VERSION,
+    ExperimentResult,
+)
+from repro.experiments.orchestrator.spec import ExperimentSpec
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_package_fingerprint_cache: Optional[str] = None
+
+
+def default_cache_dir() -> str:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``.repro-cache``."""
+    return os.environ.get(CACHE_DIR_ENV_VAR) or DEFAULT_CACHE_DIR
+
+
+def _code_fingerprint() -> str:
+    """Hash of every ``.py`` file in the installed ``repro`` package.
+
+    Experiments pull numbers from ``analysis``/``core``/``backend``/...,
+    so a per-module hash would serve stale results after an edit anywhere
+    else in the library; hashing the whole package trades cache lifetime
+    for correctness.  Memoized per process (source does not change mid-run).
+    """
+    global _package_fingerprint_cache
+    if _package_fingerprint_cache is None:
+        import repro
+
+        package_root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for directory, _, filenames in sorted(os.walk(package_root)):
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(directory, filename)
+                digest.update(os.path.relpath(path, package_root).encode("utf-8"))
+                try:
+                    with open(path, "rb") as handle:
+                        digest.update(handle.read())
+                except OSError:  # pragma: no cover - deleted source mid-run
+                    digest.update(b"<unreadable>")
+        _package_fingerprint_cache = digest.hexdigest()
+    return _package_fingerprint_cache
+
+
+class ResultCache:
+    """Directory of content-addressed experiment results."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory or default_cache_dir()
+
+    def key_for(
+        self,
+        spec: ExperimentSpec,
+        params_dict: Mapping[str, Any],
+        backend: Optional[str],
+    ) -> str:
+        """The content hash addressing ``spec`` run with these inputs."""
+        material = json.dumps(
+            {
+                "schema": RESULT_SCHEMA_VERSION,
+                "experiment_id": spec.experiment_id,
+                "params": params_dict,
+                "backend": backend if spec.backend_sensitive else "-",
+                "code": _code_fingerprint(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def load(self, key: str) -> Optional[ExperimentResult]:
+        """The cached result for ``key``, or ``None`` on miss/corruption."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        try:
+            result = ExperimentResult.from_dict(document)
+        except OrchestrationError:
+            return None
+        return result.with_volatile(
+            wall_time_seconds=result.wall_time_seconds, cached=True
+        )
+
+    def store(self, key: str, result: ExperimentResult) -> str:
+        """Atomically persist ``result`` under ``key``; returns the file path."""
+        path = self._path(key)
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            descriptor, temp_path = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                    json.dump(result.to_dict(), handle, sort_keys=True, allow_nan=False)
+                    handle.write("\n")
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError as error:
+            raise OrchestrationError(
+                f"cannot write cache entry to {path!r}: {error}"
+            ) from error
+        return path
+
+    def __len__(self) -> int:
+        """Number of committed (non-temporary) entries on disk."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        return sum(1 for name in names if name.endswith(".json") and not name.startswith(".tmp-"))

@@ -1,0 +1,141 @@
+"""Execution engine: serial or process-parallel, cache-aware, deterministic.
+
+:func:`run_experiments` executes a selection of specs and returns their
+structured results in selection order.  Determinism is by construction:
+
+- every experiment derives all randomness from its own params/seed, never
+  from process-global state, so execution order cannot change any number;
+- process-parallel runs resolve the compute backend **once** in the parent
+  and pass the resolved name to every worker, so a fork/spawn child cannot
+  auto-detect a different backend than the serial run would;
+- cache hits return the stored document, whose canonical view is
+  byte-identical to what a fresh run produces (the volatile wall-time /
+  cache-provenance fields live outside the canonical view).
+
+The process pool is the scaling seam for the pure-Python backend, which the
+thread-based sweep fan-out of PR 1 cannot speed up (GIL); NumPy-backend runs
+also benefit because the 13 experiments are independent processes' worth of
+work.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.backend import get_backend
+from repro.backend.selection import use_backend
+from repro.experiments.orchestrator.cache import ResultCache
+from repro.experiments.orchestrator.result import ExperimentResult, jsonify
+from repro.experiments.orchestrator.spec import ExperimentSpec
+
+
+def execute_spec(
+    spec: ExperimentSpec,
+    params: Any = None,
+    *,
+    backend: Optional[str] = None,
+) -> ExperimentResult:
+    """Run one experiment in-process and wrap its payload with metadata.
+
+    ``backend`` (a backend name) is installed as the process default for the
+    duration of the build so every nested estimate resolves consistently;
+    ``None`` keeps the ambient resolution (default / env var / auto).
+    """
+    if params is None:
+        params = spec.default_params()
+    params_doc = spec.params_dict(params)
+    start = time.perf_counter()
+    if backend is None:
+        payload = spec.build(params)
+    else:
+        with use_backend(backend):
+            payload = spec.build(params)
+    elapsed = time.perf_counter() - start
+    resolved = get_backend(backend).name if spec.backend_sensitive else None
+    return ExperimentResult(
+        experiment_id=spec.experiment_id,
+        params=params_doc,
+        tables=tuple(payload.tables),
+        metrics=jsonify(payload.metrics, where=f"{spec.experiment_id} metrics"),
+        backend=resolved,
+        seed=spec.seed,
+        wall_time_seconds=elapsed,
+    )
+
+
+def _pool_execute(
+    experiment_id: str, params_doc: Dict[str, Any], backend: Optional[str]
+) -> Dict[str, Any]:
+    """Worker entry point: look the spec up by id and run it.
+
+    Returns the full serialized result (plain dict) so only JSON-safe data
+    crosses the process boundary.
+    """
+    from repro.experiments.orchestrator import registry
+
+    spec = registry.get_spec(experiment_id)
+    params = spec.params_from_dict(params_doc) if spec.params_type is not None else None
+    return execute_spec(spec, params, backend=backend).to_dict()
+
+
+def run_experiments(
+    specs: Sequence[ExperimentSpec],
+    *,
+    backend: Optional[str] = None,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    force: bool = False,
+) -> List[ExperimentResult]:
+    """Run ``specs`` (default parameters) and return results in spec order.
+
+    Args:
+        backend: compute-backend name; resolved once so serial, parallel and
+            sharded runs agree.  ``None`` uses the ambient resolution.
+        parallel: fan the experiments out over a process pool.
+        max_workers: pool size (default: ``os.cpu_count()``).
+        cache: optional :class:`ResultCache`; fresh results are stored,
+            prior results with matching content keys are returned directly.
+        force: recompute even on a cache hit (the fresh result still
+            overwrites the cache entry).
+    """
+    effective_backend = get_backend(backend).name
+    results: List[Optional[ExperimentResult]] = [None] * len(specs)
+    pending: List[Tuple[int, ExperimentSpec, Dict[str, Any], Optional[str]]] = []
+    for index, spec in enumerate(specs):
+        params_doc = spec.params_dict()
+        # `is not None`, not truthiness: ResultCache.__len__ makes an empty
+        # cache falsy, which must still compute keys and store results.
+        key = (
+            cache.key_for(spec, params_doc, effective_backend)
+            if cache is not None
+            else None
+        )
+        if cache is not None and not force:
+            hit = cache.load(key)
+            if hit is not None and hit.experiment_id == spec.experiment_id:
+                results[index] = hit
+                continue
+        pending.append((index, spec, params_doc, key))
+
+    if parallel and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                (index, spec, key, pool.submit(_pool_execute, spec.experiment_id, params_doc, effective_backend))
+                for index, spec, params_doc, key in pending
+            ]
+            for index, spec, key, future in futures:
+                result = ExperimentResult.from_dict(future.result())
+                results[index] = result
+                if cache is not None and key is not None:
+                    cache.store(key, result)
+    else:
+        for index, spec, params_doc, key in pending:
+            result = execute_spec(spec, backend=effective_backend)
+            results[index] = result
+            if cache is not None and key is not None:
+                cache.store(key, result)
+
+    return [result for result in results if result is not None]

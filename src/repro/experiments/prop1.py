@@ -22,6 +22,12 @@ from repro.analysis.report import Table
 from repro.core.abundance import AbundanceVector
 from repro.core.exceptions import ExperimentError
 from repro.core.propositions import Proposition1Result, check_proposition_1
+from repro.experiments.orchestrator import (
+    ExperimentResult,
+    ExperimentSpec,
+    ResultPayload,
+    execute_spec,
+)
 
 
 @dataclass(frozen=True)
@@ -121,13 +127,53 @@ def proposition1_table(sweep: Proposition1Sweep) -> Table:
     return table
 
 
+@dataclass(frozen=True)
+class Proposition1Params:
+    """Orchestrator parameters for the Proposition 1 sweep."""
+
+    kappas: Tuple[int, ...] = (2, 4, 8, 16, 32, 64)
+    omega: float = 4.0
+
+
+def build_payload(params: Proposition1Params = None) -> ResultPayload:
+    """Run the Proposition 1 sweep as a structured payload."""
+    params = params or Proposition1Params()
+    sweep = run_proposition1(kappas=tuple(params.kappas), omega=params.omega)
+    table = proposition1_table(sweep)
+    table.title = "sweep"
+    return ResultPayload(
+        tables=(table,),
+        metrics={"holds": sweep.holds, "cases": len(sweep.cases)},
+    )
+
+
+def render_result(result: ExperimentResult) -> str:
+    """The classic Proposition 1 stdout report."""
+    return "\n".join(
+        [
+            "Proposition 1 -- abundance increases vs entropy on κ-optimal systems",
+            result.tables[0].render(),
+            "",
+            f"Proposition 1 holds over the sweep: {result.metrics['holds']}",
+        ]
+    )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="proposition1",
+    title="Proposition 1: abundance increases vs entropy on κ-optimal systems",
+    build=build_payload,
+    render=render_result,
+    params_type=Proposition1Params,
+    tags=("paper", "proposition"),
+    seed=None,
+    backend_sensitive=False,
+)
+
+
 def main(argv: Sequence[str] = ()) -> None:
     """Run the Proposition 1 experiment and print the table."""
-    sweep = run_proposition1()
-    print("Proposition 1 -- abundance increases vs entropy on κ-optimal systems")
-    print(proposition1_table(sweep).render())
-    print()
-    print(f"Proposition 1 holds over the sweep: {sweep.holds}")
+    print(render_result(execute_spec(SPEC)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -24,6 +24,12 @@ from repro.analysis.report import Table
 from repro.core.exceptions import ExperimentError
 from repro.core.propositions import Proposition2Result, check_proposition_2
 from repro.datasets.bitcoin_pools import figure1_distribution
+from repro.experiments.orchestrator import (
+    ExperimentResult,
+    ExperimentSpec,
+    ResultPayload,
+    execute_spec,
+)
 
 
 @dataclass(frozen=True)
@@ -129,15 +135,59 @@ def proposition2_table(sweep: Proposition2Sweep) -> Table:
     return table
 
 
+@dataclass(frozen=True)
+class Proposition2Params:
+    """Orchestrator parameters for the Proposition 2 growth comparison."""
+
+    sizes: Tuple[int, ...] = (18, 67, 117, 517, 1017)
+
+
+def build_payload(params: Proposition2Params = None) -> ResultPayload:
+    """Run the Proposition 2 comparison as a structured payload."""
+    params = params or Proposition2Params()
+    sweep = run_proposition2(sizes=tuple(params.sizes))
+    table = proposition2_table(sweep)
+    table.title = "growth_steps"
+    return ResultPayload(
+        tables=(table,),
+        metrics={
+            "holds": sweep.holds,
+            "oligopoly_entropy_ceiling": sweep.oligopoly_entropy_ceiling,
+            "uniform_final_entropy": sweep.uniform_final_entropy,
+        },
+    )
+
+
+def render_result(result: ExperimentResult) -> str:
+    """The classic Proposition 2 stdout report."""
+    metrics = result.metrics
+    return "\n".join(
+        [
+            "Proposition 2 -- growing unique-configuration systems",
+            result.tables[0].render(),
+            "",
+            f"oligopoly entropy ceiling : {metrics['oligopoly_entropy_ceiling']:.4f} bits",
+            f"uniform entropy reached   : {metrics['uniform_final_entropy']:.4f} bits",
+            f"Proposition 2 holds       : {metrics['holds']}",
+        ]
+    )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="proposition2",
+    title="Proposition 2: growing unique-configuration systems",
+    build=build_payload,
+    render=render_result,
+    params_type=Proposition2Params,
+    tags=("paper", "proposition"),
+    seed=None,
+    backend_sensitive=False,
+)
+
+
 def main(argv: Sequence[str] = ()) -> None:
     """Run the Proposition 2 experiment and print the table."""
-    sweep = run_proposition2()
-    print("Proposition 2 -- growing unique-configuration systems")
-    print(proposition2_table(sweep).render())
-    print()
-    print(f"oligopoly entropy ceiling : {sweep.oligopoly_entropy_ceiling:.4f} bits")
-    print(f"uniform entropy reached   : {sweep.uniform_final_entropy:.4f} bits")
-    print(f"Proposition 2 holds       : {sweep.holds}")
+    print(render_result(execute_spec(SPEC)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -27,6 +27,12 @@ from repro.core.propositions import (
     check_proposition_3,
     proposition_3_holds,
 )
+from repro.experiments.orchestrator import (
+    ExperimentResult,
+    ExperimentSpec,
+    ResultPayload,
+    execute_spec,
+)
 
 
 @dataclass(frozen=True)
@@ -105,16 +111,59 @@ def proposition3_table(sweep: Proposition3Sweep) -> Table:
     return table
 
 
+@dataclass(frozen=True)
+class Proposition3Params:
+    """Orchestrator parameters for the Proposition 3 abundance sweep."""
+
+    kappa: int = 8
+    abundances: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+    colluding_operators: int = 2
+
+
+def build_payload(params: Proposition3Params = None) -> ResultPayload:
+    """Run the Proposition 3 sweep as a structured payload."""
+    params = params or Proposition3Params()
+    sweep = run_proposition3(
+        kappa=params.kappa,
+        abundances=tuple(params.abundances),
+        colluding_operators=params.colluding_operators,
+    )
+    table = proposition3_table(sweep)
+    table.title = "abundance_sweep"
+    return ResultPayload(
+        tables=(table,),
+        metrics={"holds": sweep.holds},
+    )
+
+
+def render_result(result: ExperimentResult) -> str:
+    """The classic Proposition 3 stdout report."""
+    return "\n".join(
+        [
+            "Proposition 3 -- configuration abundance vs rational-operator resilience "
+            f"(kappa={result.params['kappa']}, coalition={result.params['colluding_operators']})",
+            result.tables[0].render(),
+            "",
+            f"Proposition 3 trade-off observed: {result.metrics['holds']}",
+        ]
+    )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="proposition3",
+    title="Proposition 3: configuration abundance vs rational-operator resilience",
+    build=build_payload,
+    render=render_result,
+    params_type=Proposition3Params,
+    tags=("paper", "proposition"),
+    seed=None,
+    backend_sensitive=False,
+)
+
+
 def main(argv: Sequence[str] = ()) -> None:
     """Run the Proposition 3 experiment and print the table."""
-    sweep = run_proposition3()
-    print(
-        "Proposition 3 -- configuration abundance vs rational-operator resilience "
-        f"(kappa={sweep.kappa}, coalition={sweep.colluding_operators})"
-    )
-    print(proposition3_table(sweep).render())
-    print()
-    print(f"Proposition 3 trade-off observed: {sweep.holds}")
+    print(render_result(execute_spec(SPEC)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

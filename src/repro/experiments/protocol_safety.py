@@ -31,6 +31,12 @@ from repro.core.resilience import ProtocolFamily
 from repro.faults.campaign import ExploitCampaign
 from repro.faults.catalog import VulnerabilityCatalog
 from repro.faults.injection import FaultSchedule
+from repro.experiments.orchestrator import (
+    ExperimentResult,
+    ExperimentSpec,
+    ResultPayload,
+    execute_spec,
+)
 from repro.nakamoto.attack import majority_takeover
 from repro.nakamoto.pool import pools_from_snapshot
 
@@ -232,16 +238,61 @@ def nakamoto_table(result: ProtocolSafetyResult) -> Table:
     return table
 
 
+@dataclass(frozen=True)
+class ProtocolSafetyParams:
+    """Orchestrator parameters for the end-to-end protocol-safety runs."""
+
+    replica_count: int = 7
+    protocols: Tuple[str, ...] = ("pbft", "hotstuff", "hybrid")
+
+
+def build_payload(params: ProtocolSafetyParams = None) -> ResultPayload:
+    """Run the end-to-end experiment as a structured payload."""
+    params = params or ProtocolSafetyParams()
+    result = run_protocol_safety(
+        replica_count=params.replica_count, protocols=tuple(params.protocols)
+    )
+    bft = protocol_safety_table(result)
+    bft.title = "bft_safety"
+    nakamoto = nakamoto_table(result)
+    nakamoto.title = "nakamoto_safety"
+    return ResultPayload(
+        tables=(bft, nakamoto),
+        metrics={"condition_predicts_safety": result.condition_predicts_safety},
+    )
+
+
+def render_result(result: ExperimentResult) -> str:
+    """The classic protocol-safety stdout report (both tables)."""
+    return "\n".join(
+        [
+            "End-to-end BFT safety under a single shared vulnerability",
+            result.tables[0].render(),
+            "",
+            "Nakamoto: hash power captured through shared pool software",
+            result.tables[1].render(),
+            "",
+            "the Section II-C condition predicted safety correctly: "
+            f"{result.metrics['condition_predicts_safety']}",
+        ]
+    )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="protocol_safety",
+    title="End-to-end protocol safety: shared faults vs simulated consensus",
+    build=build_payload,
+    render=render_result,
+    params_type=ProtocolSafetyParams,
+    tags=("extension", "protocols"),
+    seed=None,
+    backend_sensitive=False,
+)
+
+
 def main(argv: Sequence[str] = ()) -> None:
     """Run the end-to-end protocol-safety experiment and print both tables."""
-    result = run_protocol_safety()
-    print("End-to-end BFT safety under a single shared vulnerability")
-    print(protocol_safety_table(result).render())
-    print()
-    print("Nakamoto: hash power captured through shared pool software")
-    print(nakamoto_table(result).render())
-    print()
-    print(f"the Section II-C condition predicted safety correctly: {result.condition_predicts_safety}")
+    print(render_result(execute_spec(SPEC)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

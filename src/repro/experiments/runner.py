@@ -4,64 +4,75 @@
 paper's Figure 1 and Example 1, the three propositions, and the additional
 analyses listed in DESIGN.md §4.  Individual experiments can also be run via
 their own modules (``python -m repro.experiments.figure1`` and so on).
+
+The heavy lifting lives in :mod:`repro.experiments.orchestrator`; this module
+keeps the classic text-only entry point (and the ``ALL_EXPERIMENTS`` tuple
+for callers that iterate it) as a thin shim over the registry.  For result
+artifacts, caching, sharding and parallel execution use ``repro.cli run``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Tuple
+import sys
+from typing import Callable, Optional, Sequence, Tuple
 
-from repro.experiments import (
-    attestation_coverage,
-    component_exposure,
-    decentralized_pools,
-    diversity_ablation,
-    example1,
-    figure1,
-    prop1,
-    prop2,
-    prop3,
-    protocol_safety,
-    safety_violation,
-    two_class,
-    vulnerability_window,
+from repro.core.exceptions import ReproError
+from repro.experiments.orchestrator import (
+    experiment_banner,
+    filter_specs,
+    run_experiments,
 )
+from repro.experiments.orchestrator import registry
+from repro.experiments.orchestrator.spec import ExperimentSpec
 
-#: (experiment id, module main) in the order DESIGN.md lists them.
-ALL_EXPERIMENTS: Tuple[Tuple[str, Callable[[], None]], ...] = (
-    ("figure1", figure1.main),
-    ("example1", example1.main),
-    ("proposition1", prop1.main),
-    ("proposition2", prop2.main),
-    ("proposition3", prop3.main),
-    ("safety_violation", safety_violation.main),
-    ("attestation_coverage", attestation_coverage.main),
-    ("two_class", two_class.main),
-    ("protocol_safety", protocol_safety.main),
-    ("diversity_ablation", diversity_ablation.main),
-    ("vulnerability_window", vulnerability_window.main),
-    ("decentralized_pools", decentralized_pools.main),
-    ("component_exposure", component_exposure.main),
+
+def _entry_point(spec: ExperimentSpec) -> Callable[[], None]:
+    """A classic ``main``-style callable for one spec (prints its report)."""
+
+    def entry() -> None:
+        from repro.experiments.orchestrator.engine import execute_spec
+
+        print(spec.render(execute_spec(spec)))
+
+    return entry
+
+
+#: (experiment id, print-style entry point) in the order DESIGN.md lists them.
+ALL_EXPERIMENTS: Tuple[Tuple[str, Callable[[], None]], ...] = tuple(
+    (spec.experiment_id, _entry_point(spec)) for spec in registry.all_specs()
 )
 
 
-def run_all(names: Sequence[str] = ()) -> None:
-    """Run the named experiments (all of them when ``names`` is empty)."""
-    wanted = set(names)
-    for name, entry_point in ALL_EXPERIMENTS:
-        if wanted and name not in wanted:
-            continue
-        banner = f"== {name} " + "=" * max(0, 70 - len(name))
-        print(banner)
-        entry_point()
+def run_all(
+    names: Sequence[str] = (),
+    *,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+) -> None:
+    """Run the named experiments (all of them when ``names`` is empty).
+
+    Unknown names raise
+    :class:`~repro.core.exceptions.OrchestrationError` instead of being
+    silently skipped — a misspelled experiment in a regeneration script must
+    fail loudly, not produce a partial evaluation that looks complete.
+    """
+    specs = filter_specs(registry.all_specs(), names=tuple(names))
+    results = run_experiments(specs, parallel=parallel, max_workers=max_workers)
+    for spec, result in zip(specs, results):
+        print(experiment_banner(spec.experiment_id))
+        print(spec.render(result))
         print()
 
 
-def main(argv: Sequence[str] = ()) -> None:
+def main(argv: Sequence[str] = ()) -> int:
     """Command-line entry point: optional experiment names as arguments."""
-    run_all(tuple(argv))
+    try:
+        run_all(tuple(argv))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    import sys
-
-    main(sys.argv[1:])
+    sys.exit(main(sys.argv[1:]))

@@ -27,6 +27,12 @@ from repro.core.exceptions import ExperimentError
 from repro.core.resilience import ProtocolFamily
 from repro.datasets.bitcoin_pools import figure1_distribution
 from repro.datasets.generators import oligopoly_distribution, uniform_distribution, zipf_distribution
+from repro.experiments.orchestrator import (
+    ExperimentResult,
+    ExperimentSpec,
+    ResultPayload,
+    execute_spec,
+)
 
 
 @dataclass(frozen=True)
@@ -150,16 +156,66 @@ def safety_violation_table(result: SafetyViolationResult) -> Table:
     return table
 
 
+@dataclass(frozen=True)
+class SafetyViolationParams:
+    """Orchestrator parameters for the safety-violation census sweep."""
+
+    vulnerability_probability: float = 0.25
+    exploit_budget: int = 1
+    trials: int = 2000
+    seed: int = 7
+
+
+def build_payload(params: SafetyViolationParams = None) -> ResultPayload:
+    """Run the census sweep as a structured payload (default census family)."""
+    params = params or SafetyViolationParams()
+    result = run_safety_violation(
+        vulnerability_probability=params.vulnerability_probability,
+        exploit_budget=params.exploit_budget,
+        trials=params.trials,
+        seed=params.seed,
+    )
+    table = safety_violation_table(result)
+    table.title = "census_sweep"
+    return ResultPayload(
+        tables=(table,),
+        metrics={
+            "monotone_decreasing": result.monotone_decreasing,
+            "censuses": len(result.rows),
+        },
+    )
+
+
+def render_result(result: ExperimentResult) -> str:
+    """The classic safety-violation stdout report."""
+    return "\n".join(
+        [
+            "Safety-violation probability vs census entropy "
+            f"(p_vuln={result.params['vulnerability_probability']}, "
+            f"budget={result.params['exploit_budget']})",
+            result.tables[0].render(),
+            "",
+            "violation probability decreases with entropy: "
+            f"{result.metrics['monotone_decreasing']}",
+        ]
+    )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="safety_violation",
+    title="Safety-violation probability vs census entropy (Monte Carlo)",
+    build=build_payload,
+    render=render_result,
+    params_type=SafetyViolationParams,
+    tags=("analysis", "monte-carlo"),
+    seed=7,
+    backend_sensitive=True,
+)
+
+
 def main(argv: Sequence[str] = ()) -> None:
     """Run the safety-violation experiment and print the table."""
-    result = run_safety_violation()
-    print(
-        "Safety-violation probability vs census entropy "
-        f"(p_vuln={result.vulnerability_probability}, budget={result.exploit_budget})"
-    )
-    print(safety_violation_table(result).render())
-    print()
-    print(f"violation probability decreases with entropy: {result.monotone_decreasing}")
+    print(render_result(execute_spec(SPEC)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

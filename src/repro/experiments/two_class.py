@@ -30,6 +30,12 @@ from repro.core.population import ReplicaPopulation
 from repro.core.resilience import ProtocolFamily
 from repro.datasets.software_ecosystem import SyntheticEcosystem, default_ecosystem
 from repro.diversity.policy import TwoClassWeightPolicy
+from repro.experiments.orchestrator import (
+    ExperimentResult,
+    ExperimentSpec,
+    ResultPayload,
+    execute_spec,
+)
 
 
 @dataclass(frozen=True)
@@ -146,16 +152,67 @@ def two_class_table(result: TwoClassResult) -> Table:
     return table
 
 
+@dataclass(frozen=True)
+class TwoClassParams:
+    """Orchestrator parameters for the two-class weight-policy sweep."""
+
+    population_size: int = 300
+    attested_population_fraction: float = 0.4
+    weight_ratios: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0)
+    vulnerability_probability: float = 0.3
+    trials: int = 1500
+    seed: int = 23
+
+
+def build_payload(params: TwoClassParams = None) -> ResultPayload:
+    """Run the weight-ratio sweep as a structured payload."""
+    params = params or TwoClassParams()
+    result = run_two_class(
+        population_size=params.population_size,
+        attested_population_fraction=params.attested_population_fraction,
+        weight_ratios=tuple(params.weight_ratios),
+        vulnerability_probability=params.vulnerability_probability,
+        trials=params.trials,
+        seed=params.seed,
+    )
+    table = two_class_table(result)
+    table.title = "weight_ratio_sweep"
+    return ResultPayload(
+        tables=(table,),
+        metrics={"improves_with_weight": result.improves_with_weight},
+    )
+
+
+def render_result(result: ExperimentResult) -> str:
+    """The classic two-class stdout report."""
+    fraction = result.params["attested_population_fraction"]
+    return "\n".join(
+        [
+            "Two-class voting-weight policy "
+            f"({fraction:.0%} of {result.params['population_size']} replicas attested)",
+            result.tables[0].render(),
+            "",
+            "unattested exposure shrinks as attested weight grows: "
+            f"{result.metrics['improves_with_weight']}",
+        ]
+    )
+
+
+SPEC = ExperimentSpec(
+    experiment_id="two_class",
+    title="Two-class voting-weight policy (attested vs unattested replicas)",
+    build=build_payload,
+    render=render_result,
+    params_type=TwoClassParams,
+    tags=("extension", "monte-carlo"),
+    seed=23,
+    backend_sensitive=True,
+)
+
+
 def main(argv: Sequence[str] = ()) -> None:
     """Run the two-class experiment and print the table."""
-    result = run_two_class()
-    print(
-        "Two-class voting-weight policy "
-        f"({result.attested_population_fraction:.0%} of {result.population_size} replicas attested)"
-    )
-    print(two_class_table(result).render())
-    print()
-    print(f"unattested exposure shrinks as attested weight grows: {result.improves_with_weight}")
+    print(render_result(execute_spec(SPEC)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -119,7 +119,11 @@ def majority_takeover(
     unknown = [pid for pid in compromised_ids if pid not in power_by_participant]
     if unknown:
         raise AnalysisError(f"unknown participants: {unknown!r}")
-    compromised_power = sum(power_by_participant[pid] for pid in set(compromised_ids))
+    # Sorted, not raw set order: float summation order must not depend on
+    # the per-process string-hash seed, or repeat runs drift by an ulp.
+    compromised_power = sum(
+        power_by_participant[pid] for pid in sorted(set(compromised_ids))
+    )
     fraction = compromised_power / total
     return MajorityTakeoverReport(
         compromised_fraction=fraction,

@@ -1,0 +1,100 @@
+"""Tests for ``Table`` serialization (the orchestrator's transport format)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.core.exceptions import AnalysisError
+
+
+def sample_table() -> Table:
+    table = Table(headers=("name", "share", "critical"), float_digits=3, title="census")
+    table.add_row("foundry", 0.342, True)
+    table.add_row("antpool", 0.2, False)
+    table.add_row("rest", 0.458, False)
+    return table
+
+
+class TestToDict:
+    def test_round_trip_preserves_everything(self):
+        table = sample_table()
+        rebuilt = Table.from_dict(table.to_dict())
+        assert rebuilt.headers == tuple(table.headers)
+        assert [tuple(row) for row in rebuilt.rows] == [tuple(row) for row in table.rows]
+        assert rebuilt.float_digits == table.float_digits
+        assert rebuilt.title == table.title
+        assert rebuilt.render() == table.render()
+
+    def test_round_trip_through_json_text(self):
+        table = sample_table()
+        rebuilt = Table.from_dict(json.loads(json.dumps(table.to_dict())))
+        assert rebuilt.render() == table.render()
+
+    def test_cells_are_raw_not_formatted(self):
+        table = Table(headers=("x",), float_digits=2)
+        table.add_row(0.123456789)
+        document = table.to_dict()
+        assert document["rows"][0][0] == 0.123456789  # full precision survives
+
+    def test_bool_cells_stay_bool_through_json(self):
+        # bool is an int subclass; a sloppy serializer would collapse it and
+        # the renderer would print "1" instead of "yes".
+        table = Table(headers=("flag", "count"))
+        table.add_row(True, 1)
+        rebuilt = Table.from_dict(json.loads(json.dumps(table.to_dict())))
+        cell_flag, cell_count = rebuilt.rows[0]
+        assert cell_flag is True and isinstance(cell_flag, bool)
+        assert cell_count == 1 and not isinstance(cell_count, bool)
+        assert "yes" in rebuilt.render()
+
+    def test_missing_title_defaults_to_none(self):
+        table = Table(headers=("a",))
+        assert table.to_dict()["title"] is None
+        assert Table.from_dict({"headers": ["a"]}).title is None
+
+
+class TestFromDictValidation:
+    def test_requires_headers(self):
+        with pytest.raises(AnalysisError):
+            Table.from_dict({"rows": []})
+        with pytest.raises(AnalysisError):
+            Table.from_dict({"headers": []})
+
+    def test_rejects_row_width_mismatch(self):
+        with pytest.raises(AnalysisError):
+            Table.from_dict({"headers": ["a", "b"], "rows": [[1]]})
+
+    def test_rejects_non_sequence_row(self):
+        with pytest.raises(AnalysisError):
+            Table.from_dict({"headers": ["a"], "rows": ["not-a-row"]})
+
+    def test_rejects_string_headers(self):
+        # A bare string must not be split into one column per character.
+        with pytest.raises(AnalysisError):
+            Table.from_dict({"headers": "abc", "rows": [["x", "y", "z"]]})
+
+    def test_rejects_non_string_title(self):
+        with pytest.raises(AnalysisError):
+            Table.from_dict({"headers": ["a"], "title": 7})
+
+    def test_rejects_bad_float_digits(self):
+        with pytest.raises(AnalysisError):
+            Table.from_dict({"headers": ["a"], "float_digits": "many"})
+
+
+class TestFormattingEdgeCases:
+    def test_float_digits_honored_after_round_trip(self):
+        table = Table(headers=("x",), float_digits=1)
+        table.add_row(0.25)
+        rebuilt = Table.from_dict(json.loads(json.dumps(table.to_dict())))
+        assert "0.2" in rebuilt.render()
+        assert "0.25" not in rebuilt.render()
+
+    def test_integer_valued_float_keeps_float_formatting(self):
+        table = Table(headers=("x",))
+        table.add_row(1.0)
+        rebuilt = Table.from_dict(json.loads(json.dumps(table.to_dict())))
+        assert "1.0000" in rebuilt.render()

@@ -7,8 +7,19 @@ import pytest
 from repro.core.configuration import ComponentKind, ReplicaConfiguration, SoftwareComponent
 from repro.core.population import Replica, ReplicaPopulation
 from repro.datasets.software_ecosystem import default_ecosystem, skewed_ecosystem
+from repro.experiments.orchestrator.cache import CACHE_DIR_ENV_VAR
 from repro.faults.catalog import VulnerabilityCatalog
 from repro.faults.vulnerability import Severity, Vulnerability
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the orchestrator's result cache at a per-test directory.
+
+    Keeps CLI/engine tests hermetic: no test reads another test's cache
+    entries, and no test run litters the repository with ``.repro-cache/``.
+    """
+    monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "result-cache"))
 
 
 @pytest.fixture

@@ -58,6 +58,22 @@ class TestFigure1:
         with pytest.raises(ExperimentError):
             run_figure1(max_residual_miners=5, min_residual_miners=10)
 
+    def test_entropy_at_uses_a_memoized_index(self):
+        result = run_figure1(max_residual_miners=50)
+        expected = {p.residual_miners: p.entropy_bits for p in result.points}
+        # Repeated lookups (Example 1 probes several points) hit the O(1) index.
+        for x, entropy in expected.items():
+            assert result.entropy_at(x) == entropy
+        assert result.__dict__["_entropy_index"] == expected
+
+    def test_entropy_at_unknown_x_raises(self):
+        result = run_figure1(max_residual_miners=10)
+        with pytest.raises(ExperimentError, match="not part of the sweep"):
+            result.entropy_at(11)
+        # A second miss after the index is built still raises cleanly.
+        with pytest.raises(ExperimentError):
+            result.entropy_at(0)
+
 
 class TestExample1:
     def test_bitcoin_stays_below_eight_replica_bft(self):

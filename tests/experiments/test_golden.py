@@ -1,0 +1,137 @@
+"""Golden-snapshot regression suite for every experiment.
+
+Each file under ``tests/golden/`` is the canonical JSON view of one
+experiment's structured result at its default parameters and fixed seed.
+Rerunning the experiments and diffing against the snapshots (tight float
+tolerances) locks the regenerated paper numbers — Figure 1, Example 1,
+Propositions 1-3 and the extension analyses — against regression.
+
+Backend-sensitive experiments (the Monte-Carlo ones) have one snapshot per
+backend, since the NumPy and pure-Python RNG streams differ by design.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m repro.cli run --all --quiet --no-cache --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.backend import available_backends
+from repro.experiments.orchestrator import execute_spec
+from repro.experiments.orchestrator import registry
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+#: Relative/absolute float tolerances: tight enough to catch any real change
+#: in a reported number, loose enough to absorb cross-platform libm jitter.
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+def assert_matches(expected, actual, path="$"):
+    """Recursive equality with float tolerance and exact type agreement."""
+    if isinstance(expected, bool) or isinstance(actual, bool):
+        assert type(expected) is type(actual) and expected == actual, (
+            f"{path}: expected {expected!r}, got {actual!r}"
+        )
+    elif isinstance(expected, float) or isinstance(actual, float):
+        assert isinstance(expected, (int, float)) and isinstance(actual, (int, float)), (
+            f"{path}: expected a number, got {actual!r}"
+        )
+        assert math.isclose(expected, actual, rel_tol=REL_TOL, abs_tol=ABS_TOL), (
+            f"{path}: expected {expected!r}, got {actual!r}"
+        )
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected a dict, got {actual!r}"
+        assert sorted(expected) == sorted(actual), (
+            f"{path}: keys differ: {sorted(expected)} vs {sorted(actual)}"
+        )
+        for key in expected:
+            assert_matches(expected[key], actual[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: expected a list, got {actual!r}"
+        assert len(expected) == len(actual), (
+            f"{path}: length {len(expected)} vs {len(actual)}"
+        )
+        for index, (left, right) in enumerate(zip(expected, actual)):
+            assert_matches(left, right, f"{path}[{index}]")
+    else:
+        assert expected == actual, f"{path}: expected {expected!r}, got {actual!r}"
+
+
+def _golden_cases():
+    """(spec, backend, golden path) for every snapshot that can run here."""
+    cases = []
+    for spec in registry.all_specs():
+        if spec.backend_sensitive:
+            for backend in available_backends():
+                cases.append(
+                    pytest.param(
+                        spec,
+                        backend,
+                        GOLDEN_DIR / f"{spec.experiment_id}.{backend}.json",
+                        id=f"{spec.experiment_id}-{backend}",
+                    )
+                )
+        else:
+            cases.append(
+                pytest.param(
+                    spec,
+                    None,
+                    GOLDEN_DIR / f"{spec.experiment_id}.json",
+                    id=spec.experiment_id,
+                )
+            )
+    return cases
+
+
+@pytest.mark.parametrize("spec, backend, golden_path", _golden_cases())
+def test_experiment_matches_golden_snapshot(spec, backend, golden_path):
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path.name}; regenerate with "
+        "`python -m repro.cli run --all --quiet --no-cache --update-golden`"
+    )
+    expected = json.loads(golden_path.read_text(encoding="utf-8"))
+    result = execute_spec(spec, backend=backend)
+    actual = json.loads(result.canonical_json())
+    assert_matches(expected, actual)
+
+
+def test_every_golden_file_belongs_to_a_registered_experiment():
+    """No orphaned snapshots: stale files would silently stop guarding."""
+    valid_names = set()
+    from repro.backend import registered_backends
+
+    for spec in registry.all_specs():
+        if spec.backend_sensitive:
+            valid_names.update(
+                f"{spec.experiment_id}.{backend}.json" for backend in registered_backends()
+            )
+        else:
+            valid_names.add(f"{spec.experiment_id}.json")
+    on_disk = {path.name for path in GOLDEN_DIR.glob("*.json")}
+    assert on_disk, "tests/golden is empty"
+    orphans = on_disk - valid_names
+    assert not orphans, f"golden files without a registered experiment: {sorted(orphans)}"
+
+
+def test_every_experiment_has_a_golden_file():
+    """Coverage guard: adding an experiment without a snapshot must fail."""
+    missing = []
+    for spec in registry.all_specs():
+        if spec.backend_sensitive:
+            # At least the always-available python backend must be snapshotted.
+            if not (GOLDEN_DIR / f"{spec.experiment_id}.python.json").exists():
+                missing.append(spec.experiment_id)
+        elif not (GOLDEN_DIR / f"{spec.experiment_id}.json").exists():
+            missing.append(spec.experiment_id)
+    assert not missing, (
+        f"experiments without golden snapshots: {missing}; regenerate with "
+        "`python -m repro.cli run --all --quiet --no-cache --update-golden`"
+    )

@@ -1,0 +1,41 @@
+"""Tests for the classic runner shim over the orchestrator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import OrchestrationError
+from repro.experiments import runner
+from repro.experiments.orchestrator import registry
+
+
+class TestAllExperiments:
+    def test_matches_registry_order(self):
+        assert [name for name, _ in runner.ALL_EXPERIMENTS] == registry.experiment_ids()
+
+    def test_entry_points_print_the_classic_report(self, capsys):
+        by_name = dict(runner.ALL_EXPERIMENTS)
+        by_name["example1"]()
+        output = capsys.readouterr().out
+        assert "Example 1" in output
+        assert "8-replica" in output
+
+
+class TestRunAll:
+    def test_selected_experiments_print_banners(self, capsys):
+        runner.run_all(["figure1"])
+        output = capsys.readouterr().out
+        assert output.startswith("== figure1 ")
+        assert "entropy (bits)" in output
+
+    def test_unknown_name_raises_instead_of_silently_skipping(self):
+        with pytest.raises(OrchestrationError, match="unknown experiments: nope"):
+            runner.run_all(["figure1", "nope"])
+
+    def test_main_reports_unknown_names_with_exit_code(self, capsys):
+        assert runner.main(["nope"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_main_success(self, capsys):
+        assert runner.main(["example1"]) == 0
+        assert "Example 1" in capsys.readouterr().out

@@ -1,0 +1,116 @@
+"""Tests for the content-addressed result cache."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.orchestrator import ResultCache, execute_spec
+from repro.experiments.orchestrator import registry
+from repro.experiments.orchestrator.cache import default_cache_dir
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+def figure1_spec():
+    return registry.get_spec("figure1")
+
+
+class TestKeying:
+    def test_key_is_stable(self, cache):
+        spec = figure1_spec()
+        params = spec.params_dict()
+        assert cache.key_for(spec, params, None) == cache.key_for(spec, params, None)
+
+    def test_key_changes_with_params(self, cache):
+        spec = figure1_spec()
+        base = cache.key_for(spec, spec.params_dict(), None)
+        tweaked = spec.params_dict(spec.params_type(max_residual_miners=10))
+        assert cache.key_for(spec, tweaked, None) != base
+
+    def test_backend_keys_split_only_for_sensitive_specs(self, cache):
+        sensitive = registry.get_spec("safety_violation")
+        params = sensitive.params_dict()
+        assert cache.key_for(sensitive, params, "python") != cache.key_for(
+            sensitive, params, "numpy"
+        )
+        insensitive = figure1_spec()
+        params = insensitive.params_dict()
+        assert cache.key_for(insensitive, params, "python") == cache.key_for(
+            insensitive, params, "numpy"
+        )
+
+    def test_keys_differ_across_experiments(self, cache):
+        first = figure1_spec()
+        second = registry.get_spec("example1")
+        assert cache.key_for(first, first.params_dict(), None) != cache.key_for(
+            second, second.params_dict(), None
+        )
+
+
+class TestStoreAndLoad:
+    def test_round_trip_preserves_canonical_json(self, cache):
+        spec = figure1_spec()
+        result = execute_spec(spec)
+        key = cache.key_for(spec, spec.params_dict(), None)
+        cache.store(key, result)
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert loaded.cached is True
+        assert loaded.canonical_json() == result.canonical_json()
+
+    def test_missing_key_is_a_miss(self, cache):
+        assert cache.load("0" * 64) is None
+
+    def test_corrupt_entry_degrades_to_a_miss(self, cache, tmp_path):
+        spec = figure1_spec()
+        key = cache.key_for(spec, spec.params_dict(), None)
+        cache.store(key, execute_spec(spec))
+        path = os.path.join(cache.directory, f"{key}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{ not json")
+        assert cache.load(key) is None
+
+    def test_non_object_json_entry_is_a_miss(self, cache):
+        spec = figure1_spec()
+        key = cache.key_for(spec, spec.params_dict(), None)
+        cache.store(key, execute_spec(spec))
+        path = os.path.join(cache.directory, f"{key}.json")
+        for payload in ("null", "[1, 2]", '"text"'):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            assert cache.load(key) is None
+
+    def test_truncated_document_is_a_miss(self, cache):
+        spec = figure1_spec()
+        key = cache.key_for(spec, spec.params_dict(), None)
+        cache.store(key, execute_spec(spec))
+        path = os.path.join(cache.directory, f"{key}.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        del document["experiment_id"]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        assert cache.load(key) is None
+
+    def test_len_counts_committed_entries(self, cache):
+        assert len(cache) == 0
+        spec = figure1_spec()
+        cache.store(cache.key_for(spec, spec.params_dict(), None), execute_spec(spec))
+        assert len(cache) == 1
+
+
+class TestDefaultDirectory:
+    def test_env_var_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert default_cache_dir() == str(tmp_path / "env-cache")
+        assert ResultCache().directory == str(tmp_path / "env-cache")
+
+    def test_fallback_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir() == ".repro-cache"

@@ -1,0 +1,134 @@
+"""Tests for spec registration, filtering and shard selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import OrchestrationError
+from repro.experiments.orchestrator import filter_specs, parse_shard, select_shard
+from repro.experiments.orchestrator import registry
+
+
+class TestRegistry:
+    def test_thirteen_experiments_in_paper_order(self):
+        ids = registry.experiment_ids()
+        assert len(ids) == 13
+        assert ids[:5] == [
+            "figure1",
+            "example1",
+            "proposition1",
+            "proposition2",
+            "proposition3",
+        ]
+
+    def test_get_spec_unknown_raises(self):
+        with pytest.raises(OrchestrationError, match="unknown experiment"):
+            registry.get_spec("does-not-exist")
+
+    def test_every_spec_is_complete(self):
+        for spec in registry.all_specs():
+            assert spec.title
+            assert spec.tags
+            assert callable(spec.build)
+            assert callable(spec.render)
+
+    def test_backend_sensitive_specs_are_the_monte_carlo_ones(self):
+        sensitive = {
+            spec.experiment_id for spec in registry.all_specs() if spec.backend_sensitive
+        }
+        assert sensitive == {"safety_violation", "two_class", "diversity_ablation"}
+
+    def test_seeded_specs_record_their_default_seed(self):
+        by_id = {spec.experiment_id: spec for spec in registry.all_specs()}
+        assert by_id["safety_violation"].seed == 7
+        assert by_id["two_class"].seed == 23
+        assert by_id["figure1"].seed is None
+
+    def test_params_round_trip(self):
+        for spec in registry.all_specs():
+            document = spec.params_dict()
+            rebuilt = spec.params_from_dict(document)
+            assert spec.params_dict(rebuilt) == document
+
+
+class TestFiltering:
+    def test_no_filters_selects_everything(self):
+        specs = registry.all_specs()
+        assert filter_specs(specs) == list(specs)
+
+    def test_name_filter_preserves_registry_order(self):
+        specs = registry.all_specs()
+        selected = filter_specs(specs, names=("proposition2", "figure1"))
+        assert [spec.experiment_id for spec in selected] == ["figure1", "proposition2"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(OrchestrationError, match="unknown experiments: nope"):
+            filter_specs(registry.all_specs(), names=("nope",))
+
+    def test_tag_filter(self):
+        selected = filter_specs(registry.all_specs(), tags=("proposition",))
+        assert [spec.experiment_id for spec in selected] == [
+            "proposition1",
+            "proposition2",
+            "proposition3",
+        ]
+
+    def test_multiple_tags_are_a_union(self):
+        selected = filter_specs(registry.all_specs(), tags=("figure", "example"))
+        assert [spec.experiment_id for spec in selected] == ["figure1", "example1"]
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(OrchestrationError, match="unknown tags"):
+            filter_specs(registry.all_specs(), tags=("no-such-tag",))
+
+    def test_names_and_tags_compose(self):
+        selected = filter_specs(
+            registry.all_specs(),
+            names=("figure1", "proposition1"),
+            tags=("proposition",),
+        )
+        assert [spec.experiment_id for spec in selected] == ["proposition1"]
+
+    def test_empty_intersection_of_valid_filters_raises(self):
+        # figure1 is a valid name and monte-carlo a valid tag, but nothing
+        # carries both — a silent empty selection would look like success.
+        with pytest.raises(OrchestrationError, match="no experiment matches"):
+            filter_specs(registry.all_specs(), names=("figure1",), tags=("monte-carlo",))
+
+
+class TestShardParsing:
+    def test_parse_valid(self):
+        assert parse_shard("1/2") == (1, 2)
+        assert parse_shard(" 3/7 ") == (3, 7)
+
+    @pytest.mark.parametrize("bad", ["", "1", "0/2", "3/2", "1/0", "a/b", "1/2/3", "-1/2"])
+    def test_parse_invalid(self, bad):
+        with pytest.raises(OrchestrationError):
+            parse_shard(bad)
+
+
+class TestShardSelection:
+    def test_round_robin_assignment(self):
+        specs = registry.all_specs()
+        first = select_shard(specs, 1, 2)
+        second = select_shard(specs, 2, 2)
+        assert [spec.experiment_id for spec in first] == [
+            spec.experiment_id for spec in specs[0::2]
+        ]
+        assert [spec.experiment_id for spec in second] == [
+            spec.experiment_id for spec in specs[1::2]
+        ]
+
+    def test_single_shard_is_everything(self):
+        specs = registry.all_specs()
+        assert select_shard(specs, 1, 1) == list(specs)
+
+    def test_more_shards_than_specs_yields_empty_shards(self):
+        specs = registry.all_specs()[:2]
+        assert select_shard(specs, 3, 5) == []
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(OrchestrationError):
+            select_shard(registry.all_specs(), 0, 2)
+        with pytest.raises(OrchestrationError):
+            select_shard(registry.all_specs(), 3, 2)

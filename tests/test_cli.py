@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.experiments.orchestrator import load_results_document
 
 
 class TestListAndRun:
@@ -29,6 +32,102 @@ class TestListAndRun:
         output = capsys.readouterr().out
         assert "Proposition 1" in output
         assert "Proposition 3" in output
+
+
+class TestRunOrchestration:
+    def test_tag_filter_selects_the_propositions(self, capsys):
+        assert main(["run", "--tag", "proposition", "--no-cache"]) == 0
+        output = capsys.readouterr().out
+        assert "Proposition 1" in output
+        assert "Proposition 2" in output
+        assert "Proposition 3" in output
+        assert "Figure 1" not in output
+
+    def test_unknown_tag_is_a_usage_error(self, capsys):
+        assert main(["run", "--tag", "no-such-tag"]) == 2
+        assert "unknown tags" in capsys.readouterr().err
+
+    def test_bad_shard_is_a_usage_error(self, capsys):
+        assert main(["run", "--shard", "3/2", "figure1"]) == 2
+        assert "shard" in capsys.readouterr().err
+
+    def test_quiet_suppresses_reports(self, capsys):
+        assert main(["run", "--quiet", "--no-cache", "figure1"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_results_artifact_is_written(self, tmp_path, capsys):
+        path = tmp_path / "RESULTS.json"
+        assert main(["run", "--quiet", "--no-cache", "--results", str(path), "figure1"]) == 0
+        document = load_results_document(str(path))
+        assert list(document["results"]) == ["figure1"]
+        assert document["results"]["figure1"]["metrics"]["always_below_bft8"] is True
+        assert "results written to" in capsys.readouterr().out
+
+    def test_second_invocation_is_served_from_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        argv = ["run", "--quiet", "--cache-dir", cache_dir, "figure1", "example1"]
+        assert main(argv + ["--results", str(first)]) == 0
+        assert main(argv + ["--results", str(second)]) == 0
+        capsys.readouterr()
+        first_doc = load_results_document(str(first))
+        second_doc = load_results_document(str(second))
+        assert first_doc["run"]["cached"] == {"figure1": False, "example1": False}
+        assert second_doc["run"]["cached"] == {"figure1": True, "example1": True}
+        assert first_doc["results"] == second_doc["results"]
+
+    def test_shards_merge_to_the_unsharded_artifact(self, tmp_path, capsys):
+        unsharded = tmp_path / "full.json"
+        merged = tmp_path / "merged.json"
+        base = ["run", "--quiet", "--no-cache", "--tag", "paper"]
+        assert main(base + ["--results", str(unsharded)]) == 0
+        assert main(base + ["--shard", "1/2", "--results", str(merged)]) == 0
+        assert main(base + ["--shard", "2/2", "--results", str(merged), "--merge"]) == 0
+        capsys.readouterr()
+        full_doc = load_results_document(str(unsharded))
+        merged_doc = load_results_document(str(merged))
+        assert merged_doc["results"] == full_doc["results"]
+        assert merged_doc["run"]["shards"] == ["1/2", "2/2"]
+
+    def test_update_golden_writes_snapshots(self, tmp_path, capsys):
+        golden_dir = tmp_path / "golden"
+        assert (
+            main(
+                [
+                    "run",
+                    "--quiet",
+                    "--no-cache",
+                    "--update-golden",
+                    "--golden-dir",
+                    str(golden_dir),
+                    "figure1",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        document = json.loads((golden_dir / "figure1.json").read_text(encoding="utf-8"))
+        assert document["experiment_id"] == "figure1"
+        assert "wall_time_seconds" not in document
+
+    def test_non_positive_jobs_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--jobs", "0", "figure1"])
+        with pytest.raises(SystemExit):
+            main(["run", "--jobs", "-2", "figure1"])
+
+    def test_parallel_flag_matches_serial_results(self, tmp_path, capsys):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        base = ["run", "--quiet", "--no-cache", "--tag", "proposition"]
+        assert main(base + ["--results", str(serial)]) == 0
+        assert main(base + ["--parallel", "--jobs", "2", "--results", str(parallel)]) == 0
+        capsys.readouterr()
+        assert (
+            load_results_document(str(serial))["results"]
+            == load_results_document(str(parallel))["results"]
+        )
 
 
 class TestEntropyCommand:
