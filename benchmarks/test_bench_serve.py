@@ -1,0 +1,76 @@
+"""Benchmark: the result service's serving hot paths.
+
+Times one warm round-trip (cache hit served from disk) and one conditional
+round-trip (``304`` answered from the key alone, no disk) over a real
+socket against a live server, with the cold build paid once outside the
+timed region.  Run with::
+
+    pytest benchmarks/test_bench_serve.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import BenchClient, ServiceMetrics
+from repro.serve.server import ResultServer
+
+PATH = "/experiments/example1"
+
+
+@pytest.fixture(scope="module")
+def warm_server(tmp_path_factory):
+    """A running server whose cache already holds the benchmark experiment."""
+    loop = asyncio.new_event_loop()
+    server = ResultServer(
+        host="127.0.0.1",
+        port=0,
+        jobs=1,
+        cache_dir=str(tmp_path_factory.mktemp("serve-bench-cache")),
+        refresh_interval=0.0,
+        metrics=ServiceMetrics(),
+    )
+    loop.run_until_complete(server.start())
+
+    async def _warm():
+        async with BenchClient("127.0.0.1", server.port) as client:
+            response = await client.get(PATH)
+            assert response.status == 200
+            return response.header("etag")
+
+    etag = loop.run_until_complete(_warm())
+    try:
+        yield loop, server, etag
+    finally:
+        loop.run_until_complete(server.stop())
+        # Let the per-connection handler tasks observe their EOFs and close
+        # their transports before the loop goes away, or their GC would emit
+        # "Event loop is closed" warnings.
+        loop.run_until_complete(asyncio.sleep(0.1))
+        loop.close()
+
+
+def test_warm_hit_round_trip(benchmark, warm_server):
+    loop, server, _etag = warm_server
+
+    async def _one():
+        async with BenchClient("127.0.0.1", server.port) as client:
+            return await client.get(PATH)
+
+    response = benchmark(lambda: loop.run_until_complete(_one()))
+    assert response.status == 200
+    assert response.header("x-cache") == "hit"
+
+
+def test_conditional_304_round_trip(benchmark, warm_server):
+    loop, server, etag = warm_server
+
+    async def _one():
+        async with BenchClient("127.0.0.1", server.port) as client:
+            return await client.get(PATH, headers={"If-None-Match": etag})
+
+    response = benchmark(lambda: loop.run_until_complete(_one()))
+    assert response.status == 304
+    assert response.body == b""

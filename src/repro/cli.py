@@ -1,12 +1,20 @@
 """Command-line interface for the reproduction.
 
-Five subcommands cover the common workflows without writing Python:
+Eight subcommands cover the common workflows without writing Python:
 
 - ``list``     — show the available experiments (one per paper artifact);
 - ``run``      — run experiments through the orchestrator: name/tag
   filtering, ``--shard i/n`` splitting for CI fan-out, process-parallel
   execution, a content-addressed result cache, a ``RESULTS.json`` artifact
   and golden-snapshot regeneration;
+- ``serve``    — host the asyncio HTTP result service: experiment results as
+  canonical JSON straight from the content-addressed cache, computed on miss
+  on a bounded process pool (``/experiments``, ``/experiments/{id}``,
+  ``/healthz``, ``/metrics``);
+- ``bench-serve`` — load-test the result service and write the
+  ``BENCH_4.json`` throughput snapshot;
+- ``cache``    — inspect or shrink the result cache (``--stats``,
+  ``--prune`` stale fingerprints and leaked temp files, ``--clear``);
 - ``entropy``  — quick diversity analysis of a voting-power distribution given
   as ``name=power`` pairs (e.g. mining-pool shares), reporting the Shannon
   entropy, the full diversity profile and which protocol tolerances a single
@@ -26,6 +34,9 @@ Examples::
     python -m repro.cli run --tag monte-carlo --parallel
     python -m repro.cli run --shard 1/2 --results RESULTS.json
     python -m repro.cli run --all --update-golden
+    python -m repro.cli serve --port 8000 --jobs 4
+    python -m repro.cli bench-serve --requests 500 --output BENCH_4.json
+    python -m repro.cli cache --stats
     python -m repro.cli entropy foundry=34.2 antpool=20.0 f2pool=13.0 rest=32.8
     python -m repro.cli backends
     python -m repro.cli bench --trials 10000 --configs 1000 --output BENCH_1.json
@@ -34,9 +45,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
+import shutil
 import sys
+import tempfile
 from typing import Mapping, Optional, Sequence
 
 from repro.analysis.benchmark import benchmark_backends, write_snapshot
@@ -57,11 +71,18 @@ from repro.experiments.orchestrator import (
     execute_spec,
     experiment_banner,
     filter_specs,
+    invalidate_code_fingerprint,
     parse_shard,
     results_document,
     run_experiments,
     select_shard,
     write_results_document,
+)
+from repro.serve import (
+    ResultServer,
+    default_jobs,
+    run_serve_bench,
+    write_serve_snapshot,
 )
 from repro.experiments.orchestrator import registry
 from repro.experiments.orchestrator.spec import ExperimentSpec
@@ -178,6 +199,106 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"golden snapshot directory (default: {DEFAULT_GOLDEN_DIR})",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="host the HTTP result service over the content-addressed cache",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8000, help="TCP port (default: 8000; 0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="process-pool size for miss computations "
+        f"(default: min(4, cpu count) = {default_jobs()})",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    serve_parser.add_argument(
+        "--refresh-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="re-hash the source tree this often so the server picks up "
+        "edits (0 disables; default: 5)",
+    )
+
+    bench_serve_parser = subparsers.add_parser(
+        "bench-serve",
+        help="load-test the result service and snapshot throughput (BENCH_4.json)",
+    )
+    bench_serve_parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiments to request (default: figure1 example1)",
+    )
+    bench_serve_parser.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=200,
+        help="requests per timed phase (default: 200)",
+    )
+    bench_serve_parser.add_argument(
+        "--concurrency",
+        type=_positive_int,
+        default=8,
+        help="concurrent keep-alive connections (default: 8)",
+    )
+    bench_serve_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="server process-pool size (default: min(4, cpu count))",
+    )
+    bench_serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="serve from this cache directory instead of a fresh temporary "
+        "one (a warm directory skews the cold phase)",
+    )
+    bench_serve_parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the JSON throughput snapshot here (e.g. BENCH_4.json)",
+    )
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or shrink the content-addressed result cache"
+    )
+    cache_action = cache_parser.add_mutually_exclusive_group()
+    cache_action.add_argument(
+        "--stats",
+        action="store_true",
+        help="report live/stale entry counts and sizes (the default action)",
+    )
+    cache_action.add_argument(
+        "--prune",
+        action="store_true",
+        help="delete entries orphaned by source edits plus leaked temp files",
+    )
+    cache_action.add_argument(
+        "--clear", action="store_true", help="delete every cache entry"
+    )
+    cache_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+
     entropy_parser = subparsers.add_parser(
         "entropy", help="diversity analysis of a name=power distribution"
     )
@@ -272,6 +393,15 @@ def _update_golden(
 
 def _command_run(arguments: argparse.Namespace) -> int:
     names = [] if arguments.all else list(arguments.experiments)
+    if arguments.merge and not arguments.results:
+        # --merge only modifies how --results is written; accepting it alone
+        # would silently drop the artifact the caller asked to assemble.
+        print("error: --merge requires --results PATH", file=sys.stderr)
+        return 2
+    if arguments.update_golden:
+        # Golden snapshots must be keyed to the source as it is now, not to
+        # whatever this process memoized at import time.
+        invalidate_code_fingerprint()
     try:
         selected = filter_specs(
             registry.all_specs(), names=names, tags=tuple(arguments.tag or ())
@@ -323,6 +453,10 @@ def _parse_shares(entries: Sequence[str]) -> ConfigurationDistribution:
             value = float(raw_value)
         except ValueError as error:
             raise ReproError(f"power in {entry!r} is not a number") from error
+        if name in weights:
+            # Last-wins would silently drop the earlier weight — with real
+            # share data that is always a typo, never an intent.
+            raise ReproError(f"duplicate name {name!r} (each NAME may appear once)")
         weights[name] = value
     return ConfigurationDistribution(weights)
 
@@ -357,6 +491,136 @@ def _command_backends() -> int:
     table = Table(headers=("backend", "available", "active"))
     for name in registered_backends():
         table.add_row(name, name in available, name == active.name)
+    print(table.render())
+    return 0
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    async def _main() -> None:
+        server = ResultServer(
+            host=arguments.host,
+            port=arguments.port,
+            jobs=arguments.jobs,
+            cache_dir=arguments.cache_dir,
+            refresh_interval=arguments.refresh_interval,
+        )
+        await server.start()
+        assert server.service is not None
+        print(
+            f"serving experiment results on {server.url} "
+            f"({server.jobs} pool workers, cache: {server.service.cache.directory})"
+        )
+        print("routes: /experiments  /experiments/{id}  /healthz  /metrics")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("shutting down")
+    except OSError as error:
+        # Port already bound, privileged port, bad interface: a normal
+        # operational failure, not a traceback-worthy bug.
+        print(
+            f"error: cannot serve on {arguments.host}:{arguments.port}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _command_bench_serve(arguments: argparse.Namespace) -> int:
+    experiment_ids = list(arguments.experiments) or ["figure1", "example1"]
+    known = set(registry.experiment_ids())
+    unknown = [name for name in experiment_ids if name not in known]
+    if unknown:
+        print(
+            f"error: unknown experiments: {', '.join(unknown)} "
+            f"(known: {', '.join(registry.experiment_ids())})",
+            file=sys.stderr,
+        )
+        return 2
+    temp_cache_dir = None
+    cache_dir = arguments.cache_dir
+    if cache_dir is None:
+        temp_cache_dir = cache_dir = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    try:
+        report = asyncio.run(_run_bench_serve(arguments, cache_dir, experiment_ids))
+        print(
+            f"result-service bench: {len(experiment_ids)} experiment(s), "
+            f"{arguments.requests} requests x {arguments.concurrency} connections"
+        )
+        table = Table(headers=("phase", "requests", "seconds", "req/sec", "statuses"))
+        for label, phase in (
+            ("cold (miss+build)", report.cold),
+            ("warm (cache hits)", report.warm),
+            ("conditional (304)", report.conditional),
+        ):
+            table.add_row(
+                label,
+                phase.requests,
+                phase.seconds,
+                phase.requests_per_second,
+                json.dumps(phase.statuses, sort_keys=True),
+            )
+        print(table.render())
+        if arguments.output:
+            write_serve_snapshot(report, arguments.output)
+            print(f"snapshot written to {arguments.output}")
+    finally:
+        if temp_cache_dir is not None:
+            shutil.rmtree(temp_cache_dir, ignore_errors=True)
+    return 0
+
+
+async def _run_bench_serve(arguments, cache_dir, experiment_ids):
+    server = ResultServer(
+        host="127.0.0.1",
+        port=0,
+        jobs=arguments.jobs,
+        cache_dir=cache_dir,
+        refresh_interval=0.0,
+    )
+    await server.start()
+    try:
+        return await run_serve_bench(
+            "127.0.0.1",
+            server.port,
+            experiment_ids,
+            requests=arguments.requests,
+            concurrency=arguments.concurrency,
+        )
+    finally:
+        await server.stop()
+
+
+def _command_cache(arguments: argparse.Namespace) -> int:
+    cache = ResultCache(arguments.cache_dir)
+    if arguments.clear:
+        report = cache.clear()
+        print(
+            f"cleared {cache.directory}: removed {report.removed_entries} "
+            f"entries and {report.removed_temp_files} temp files "
+            f"({report.freed_bytes} bytes)"
+        )
+        return 0
+    if arguments.prune:
+        report = cache.prune()
+        print(
+            f"pruned {cache.directory}: removed {report.removed_entries} stale "
+            f"entries and {report.removed_temp_files} temp files "
+            f"({report.freed_bytes} bytes), kept {report.kept_entries} live entries"
+        )
+        return 0
+    stats = cache.stats()
+    table = Table(headers=("metric", "value"))
+    table.add_row("directory", stats.directory)
+    table.add_row("live entries (current fingerprint)", stats.entries)
+    table.add_row("stale entries (prunable)", stats.stale_entries)
+    table.add_row("leaked temp files (prunable)", stats.temp_files)
+    table.add_row("total bytes", stats.total_bytes)
     print(table.render())
     return 0
 
@@ -406,6 +670,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_list()
         if arguments.command == "run":
             return _command_run(arguments)
+        if arguments.command == "serve":
+            return _command_serve(arguments)
+        if arguments.command == "bench-serve":
+            return _command_bench_serve(arguments)
+        if arguments.command == "cache":
+            return _command_cache(arguments)
         if arguments.command == "entropy":
             return _command_entropy(arguments.shares)
         if arguments.command == "backends":

@@ -79,3 +79,17 @@ class OrchestrationError(ReproError):
     """The experiment orchestrator was misconfigured: unknown experiment
     name or tag, malformed shard specification, or a corrupt result cache
     entry / results document."""
+
+
+class ServeError(ReproError):
+    """An HTTP result-service request cannot be served.
+
+    Carries the HTTP status the handler should answer with (``404`` for an
+    unknown experiment or route, ``400`` for malformed parameters, ``405``
+    for an unsupported method), so route handlers can raise one exception
+    type and let the app layer translate it into a JSON error response.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)

@@ -24,8 +24,13 @@ registry directly where needed.
 from repro.experiments.orchestrator.cache import (
     CACHE_DIR_ENV_VAR,
     DEFAULT_CACHE_DIR,
+    CacheStats,
+    PruneReport,
     ResultCache,
+    code_fingerprint,
     default_cache_dir,
+    invalidate_code_fingerprint,
+    refresh_code_fingerprint,
 )
 from repro.experiments.orchestrator.engine import execute_spec, run_experiments
 from repro.experiments.orchestrator.result import (
@@ -49,13 +54,18 @@ from repro.experiments.orchestrator.spec import (
 __all__ = [
     "CACHE_DIR_ENV_VAR",
     "DEFAULT_CACHE_DIR",
+    "CacheStats",
     "ExperimentResult",
     "ExperimentSpec",
+    "PruneReport",
     "RESULT_SCHEMA_VERSION",
     "ResultCache",
     "ResultPayload",
+    "code_fingerprint",
     "default_cache_dir",
     "execute_spec",
+    "invalidate_code_fingerprint",
+    "refresh_code_fingerprint",
     "experiment_banner",
     "filter_specs",
     "jsonify",

@@ -13,7 +13,15 @@ A cache entry's key is the SHA-256 of everything the result depends on:
 
 Entries are whole :meth:`ExperimentResult.to_dict` documents written
 atomically (temp file + rename), so a killed run never leaves a torn entry.
+Each stored document also records the code fingerprint it was keyed under,
+which is what lets :meth:`ResultCache.prune` identify entries orphaned by a
+source edit without being able to invert the content hash.
 Corrupt or unreadable entries degrade to cache misses.
+
+Long-lived processes (the HTTP result service) refresh the memoized
+fingerprint through :func:`invalidate_code_fingerprint` /
+:func:`refresh_code_fingerprint` so a server picks up source edits instead
+of serving results keyed to code that no longer exists.
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+from dataclasses import dataclass
 from typing import Any, Mapping, Optional
 
 from repro.core.exceptions import OrchestrationError
@@ -37,6 +47,11 @@ CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: How old a ``.tmp-*`` file must be before prune()/stats() treat it as
+#: leaked.  A fresh temp file is a store() in flight somewhere — deleting it
+#: would make that writer's atomic rename fail.
+TEMP_FILE_MAX_AGE_SECONDS = 3600.0
+
 _package_fingerprint_cache: Optional[str] = None
 
 
@@ -51,27 +66,113 @@ def _code_fingerprint() -> str:
     Experiments pull numbers from ``analysis``/``core``/``backend``/...,
     so a per-module hash would serve stale results after an edit anywhere
     else in the library; hashing the whole package trades cache lifetime
-    for correctness.  Memoized per process (source does not change mid-run).
+    for correctness.  Memoized per process (a batch run's source does not
+    change mid-run); long-lived processes refresh the memo through
+    :func:`invalidate_code_fingerprint`.
     """
     global _package_fingerprint_cache
     if _package_fingerprint_cache is None:
-        import repro
-
-        package_root = os.path.dirname(os.path.abspath(repro.__file__))
-        digest = hashlib.sha256()
-        for directory, _, filenames in sorted(os.walk(package_root)):
-            for filename in sorted(filenames):
-                if not filename.endswith(".py"):
-                    continue
-                path = os.path.join(directory, filename)
-                digest.update(os.path.relpath(path, package_root).encode("utf-8"))
-                try:
-                    with open(path, "rb") as handle:
-                        digest.update(handle.read())
-                except OSError:  # pragma: no cover - deleted source mid-run
-                    digest.update(b"<unreadable>")
-        _package_fingerprint_cache = digest.hexdigest()
+        _package_fingerprint_cache = compute_code_fingerprint()
     return _package_fingerprint_cache
+
+
+def compute_code_fingerprint() -> str:
+    """Hash the source tree *without* touching the memo.
+
+    The result service computes this in a worker thread and applies it with
+    :func:`set_code_fingerprint` from the event loop, so the memo only ever
+    changes in the same thread that swaps the process pool — keeping
+    "which code runs" and "which fingerprint keys it" a consistent pair.
+    """
+    import repro
+
+    package_root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for directory, _, filenames in sorted(os.walk(package_root)):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(directory, filename)
+            digest.update(os.path.relpath(path, package_root).encode("utf-8"))
+            try:
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+            except OSError:  # pragma: no cover - deleted source mid-run
+                digest.update(b"<unreadable>")
+    return digest.hexdigest()
+
+
+def set_code_fingerprint(value: str) -> None:
+    """Install a fingerprint computed via :func:`compute_code_fingerprint`."""
+    global _package_fingerprint_cache
+    _package_fingerprint_cache = value
+
+
+def code_fingerprint() -> str:
+    """The (memoized) package-wide code fingerprint cache keys embed."""
+    return _code_fingerprint()
+
+
+def invalidate_code_fingerprint() -> None:
+    """Drop the memoized code fingerprint so the next use re-hashes the tree.
+
+    Call this before any cache-key computation whose correctness depends on
+    the *current* source — the golden-snapshot refresh path and the HTTP
+    result service's periodic refresh both do.
+    """
+    global _package_fingerprint_cache
+    _package_fingerprint_cache = None
+
+
+def refresh_code_fingerprint() -> bool:
+    """Re-hash the source tree; ``True`` when the fingerprint changed.
+
+    Equivalent to :func:`invalidate_code_fingerprint` followed by a fresh
+    computation, reporting whether anything moved — the result service uses
+    the return value to count the source edits it picked up.
+    """
+    previous = _package_fingerprint_cache
+    invalidate_code_fingerprint()
+    return previous is not None and _code_fingerprint() != previous
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """What :meth:`ResultCache.stats` / :meth:`ResultCache.prune` report.
+
+    Attributes:
+        directory: the cache directory the numbers describe.
+        entries: committed entries keyed to the *current* code fingerprint.
+        stale_entries: committed entries keyed to any other fingerprint
+            (orphaned by a source edit — unreachable until pruned).
+        temp_files: leaked ``.tmp-*`` files from killed writers.
+        total_bytes: on-disk size of everything counted above.
+    """
+
+    directory: str
+    entries: int = 0
+    stale_entries: int = 0
+    temp_files: int = 0
+    total_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """What one :meth:`ResultCache.prune` / :meth:`ResultCache.clear` did.
+
+    Attributes:
+        directory: the cache directory that was pruned.
+        removed_entries: committed entries deleted.
+        removed_temp_files: leaked ``.tmp-*`` files deleted.
+        kept_entries: committed entries still present afterwards.
+        freed_bytes: on-disk size of everything deleted.
+    """
+
+    directory: str
+    removed_entries: int = 0
+    removed_temp_files: int = 0
+    kept_entries: int = 0
+    freed_bytes: int = 0
 
 
 class ResultCache:
@@ -85,15 +186,24 @@ class ResultCache:
         spec: ExperimentSpec,
         params_dict: Mapping[str, Any],
         backend: Optional[str],
+        *,
+        fingerprint: Optional[str] = None,
     ) -> str:
-        """The content hash addressing ``spec`` run with these inputs."""
+        """The content hash addressing ``spec`` run with these inputs.
+
+        ``fingerprint`` pins the code fingerprint the key embeds; callers
+        that later :meth:`store` under this key should capture one
+        :func:`code_fingerprint` value and pass it to both calls, so a
+        concurrent refresh cannot make the stored entry's recorded
+        fingerprint disagree with its key.
+        """
         material = json.dumps(
             {
                 "schema": RESULT_SCHEMA_VERSION,
                 "experiment_id": spec.experiment_id,
                 "params": params_dict,
                 "backend": backend if spec.backend_sensitive else "-",
-                "code": _code_fingerprint(),
+                "code": fingerprint if fingerprint is not None else _code_fingerprint(),
             },
             sort_keys=True,
             separators=(",", ":"),
@@ -118,9 +228,27 @@ class ResultCache:
             wall_time_seconds=result.wall_time_seconds, cached=True
         )
 
-    def store(self, key: str, result: ExperimentResult) -> str:
-        """Atomically persist ``result`` under ``key``; returns the file path."""
+    def store(
+        self,
+        key: str,
+        result: ExperimentResult,
+        *,
+        fingerprint: Optional[str] = None,
+    ) -> str:
+        """Atomically persist ``result`` under ``key``; returns the file path.
+
+        ``fingerprint`` must be the one ``key`` was computed under when the
+        two calls can straddle a refresh (the HTTP service); the default is
+        only safe for batch runs, where the memo cannot change in between.
+        """
         path = self._path(key)
+        document = result.to_dict()
+        # The content key embeds the fingerprint but cannot be inverted, so
+        # prune() needs it recorded in the entry itself to recognize entries
+        # orphaned by a source edit.
+        document["code_fingerprint"] = (
+            fingerprint if fingerprint is not None else _code_fingerprint()
+        )
         try:
             os.makedirs(self.directory, exist_ok=True)
             descriptor, temp_path = tempfile.mkstemp(
@@ -128,7 +256,7 @@ class ResultCache:
             )
             try:
                 with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                    json.dump(result.to_dict(), handle, sort_keys=True, allow_nan=False)
+                    json.dump(document, handle, sort_keys=True, allow_nan=False)
                     handle.write("\n")
                 os.replace(temp_path, path)
             except BaseException:
@@ -149,4 +277,149 @@ class ResultCache:
             names = os.listdir(self.directory)
         except OSError:
             return 0
-        return sum(1 for name in names if name.endswith(".json") and not name.startswith(".tmp-"))
+        return sum(1 for name in names if self._is_entry(name))
+
+    @staticmethod
+    def _is_entry(name: str) -> bool:
+        return name.endswith(".json") and not name.startswith(".tmp-")
+
+    @staticmethod
+    def _is_temp(name: str) -> bool:
+        return name.startswith(".tmp-")
+
+    def _is_leaked_temp(self, name: str, path: str) -> bool:
+        """A temp file old enough that no live writer can still own it."""
+        if not self._is_temp(name):
+            return False
+        try:
+            age = time.time() - os.path.getmtime(path)
+        except OSError:
+            return False
+        return age > TEMP_FILE_MAX_AGE_SECONDS
+
+    def _entry_fingerprint(self, path: str) -> Optional[str]:
+        """The fingerprint recorded in the entry, ``None`` when unreadable.
+
+        Entries written before fingerprints were recorded (or corrupted
+        since) report ``None`` and are treated as stale: their provenance
+        cannot be established, so keeping them would only hold disk.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(document, Mapping):
+            return None
+        fingerprint = document.get("code_fingerprint")
+        return fingerprint if isinstance(fingerprint, str) else None
+
+    @staticmethod
+    def _size_of(path: str) -> int:
+        try:
+            return os.path.getsize(path)
+        except OSError:
+            return 0
+
+    @staticmethod
+    def _remove(path: str) -> bool:
+        try:
+            os.unlink(path)
+        except OSError:
+            return False
+        return True
+
+    def stats(self) -> CacheStats:
+        """Count live entries, fingerprint-orphaned entries and leaked temps."""
+        current = _code_fingerprint()
+        entries = stale = temps = total_bytes = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            names = []
+        for name in names:
+            path = os.path.join(self.directory, name)
+            if self._is_temp(name):
+                if self._is_leaked_temp(name, path):
+                    temps += 1
+                    total_bytes += self._size_of(path)
+            elif self._is_entry(name):
+                total_bytes += self._size_of(path)
+                if self._entry_fingerprint(path) == current:
+                    entries += 1
+                else:
+                    stale += 1
+        return CacheStats(
+            directory=self.directory,
+            entries=entries,
+            stale_entries=stale,
+            temp_files=temps,
+            total_bytes=total_bytes,
+        )
+
+    def prune(self) -> PruneReport:
+        """Delete unreachable state: fingerprint-orphaned entries, leaked temps.
+
+        Every source edit changes the package fingerprint and with it every
+        cache key, so entries written under a previous fingerprint can never
+        be hit again — without pruning, the cache directory grows by a full
+        result set per edit, forever.  Entries keyed to the *current*
+        fingerprint are kept untouched.
+        """
+        current = _code_fingerprint()
+        removed = temps = kept = freed = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            names = []
+        for name in names:
+            path = os.path.join(self.directory, name)
+            if self._is_temp(name):
+                # Fresh temps belong to a store() in flight; only reap ones
+                # no live writer can still own.
+                if self._is_leaked_temp(name, path):
+                    size = self._size_of(path)
+                    if self._remove(path):
+                        temps += 1
+                        freed += size
+            elif self._is_entry(name):
+                if self._entry_fingerprint(path) == current:
+                    kept += 1
+                    continue
+                size = self._size_of(path)
+                if self._remove(path):
+                    removed += 1
+                    freed += size
+        return PruneReport(
+            directory=self.directory,
+            removed_entries=removed,
+            removed_temp_files=temps,
+            kept_entries=kept,
+            freed_bytes=freed,
+        )
+
+    def clear(self) -> PruneReport:
+        """Delete every entry and temp file, live or not."""
+        removed = temps = freed = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            names = []
+        for name in names:
+            path = os.path.join(self.directory, name)
+            if not (self._is_temp(name) or self._is_entry(name)):
+                continue
+            size = self._size_of(path)
+            if self._remove(path):
+                freed += size
+                if self._is_temp(name):
+                    temps += 1
+                else:
+                    removed += 1
+        return PruneReport(
+            directory=self.directory,
+            removed_entries=removed,
+            removed_temp_files=temps,
+            kept_entries=0,
+            freed_bytes=freed,
+        )

@@ -16,6 +16,13 @@ The process pool is the scaling seam for the pure-Python backend, which the
 thread-based sweep fan-out of PR 1 cannot speed up (GIL); NumPy-backend runs
 also benefit because the 13 experiments are independent processes' worth of
 work.
+
+:func:`_pool_execute` is also the HTTP result service's compute seam
+(``repro.serve``): cache misses are submitted to its bounded executor with
+exactly the arguments a ``run_experiments`` pool worker would receive, so a
+served result is computed by the same code path as a CLI run.  Distributed
+execution replaces the executor without touching this module or any
+experiment.
 """
 
 from __future__ import annotations
@@ -71,7 +78,9 @@ def _pool_execute(
     """Worker entry point: look the spec up by id and run it.
 
     Returns the full serialized result (plain dict) so only JSON-safe data
-    crosses the process boundary.
+    crosses the process boundary.  Submitted by :func:`run_experiments`
+    pool workers and by the result service (``repro.serve``) — keep the
+    signature JSON-scalar so any executor can carry it.
     """
     from repro.experiments.orchestrator import registry
 

@@ -1,0 +1,54 @@
+"""Async HTTP result service over the content-addressed experiment cache.
+
+A dependency-free asyncio server (stdlib streams, no framework) that serves
+:class:`~repro.experiments.orchestrator.ExperimentResult` JSON:
+
+- ``GET /experiments`` — registry listing with tags and params schema;
+- ``GET /experiments/{id}?param=...&backend=...`` — canonical result JSON,
+  computed on miss via the orchestrator seam on a bounded process pool,
+  single-flighted across concurrent identical requests, with the cache key
+  as a strong ``ETag`` (``If-None-Match`` answers ``304`` without disk I/O);
+- ``GET /healthz`` / ``GET /metrics`` — liveness and counters.
+
+``repro.cli serve`` runs it; ``repro.cli bench-serve`` measures it (the
+``BENCH_4.json`` artifact).
+"""
+
+from repro.serve.app import ResultApp, error_response, json_body
+from repro.serve.http import (
+    HttpRequest,
+    HttpResponse,
+    etag_for,
+    if_none_match_matches,
+    read_request,
+)
+from repro.serve.loadgen import (
+    BenchClient,
+    ServeBenchReport,
+    run_serve_bench,
+    write_serve_snapshot,
+)
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.server import ResultServer, default_jobs, start_server
+from repro.serve.service import PreparedRequest, ResultService
+
+__all__ = [
+    "BenchClient",
+    "HttpRequest",
+    "HttpResponse",
+    "PreparedRequest",
+    "ResultApp",
+    "ResultServer",
+    "ResultService",
+    "ServeBenchReport",
+    "ServiceMetrics",
+    "default_jobs",
+    "error_response",
+    "etag_for",
+    "if_none_match_matches",
+    "json_body",
+    "read_request",
+    "run_serve_bench",
+    "start_server",
+    "write_serve_snapshot",
+]

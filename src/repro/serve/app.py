@@ -1,0 +1,157 @@
+"""Route dispatch: maps parsed HTTP requests to service calls.
+
+Four routes, all read-only:
+
+- ``GET /healthz`` — liveness probe;
+- ``GET /metrics`` — the :class:`~repro.serve.metrics.ServiceMetrics` snapshot;
+- ``GET /experiments`` — the registry listing with tags and params schema;
+- ``GET /experiments/{id}?param=...&backend=...`` — one experiment's
+  canonical result JSON (byte-identical to the golden snapshots), computed
+  on miss, with the cache key as a strong ``ETag`` so ``If-None-Match``
+  round-trips answer ``304`` without touching disk.
+
+Every error — routing, validation or a failed build — is translated into a
+JSON ``{"error": {...}}`` body with the right status, never a raw traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import OrderedDict
+from typing import Any, Optional
+
+from repro.core.exceptions import ServeError
+from repro.serve.http import (
+    HttpRequest,
+    HttpResponse,
+    etag_for,
+    if_none_match_matches,
+)
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.service import ResultService
+
+#: Prefix of the per-experiment result route.
+EXPERIMENTS_PREFIX = "/experiments/"
+
+#: Encoded response bodies kept in memory, keyed by cache key.  The key is
+#: content-addressed (code + params + backend), so an entry can never go
+#: stale — the bound only caps memory under many distinct param queries.
+DEFAULT_BODY_CACHE_SIZE = 256
+
+
+def json_body(document: Any) -> bytes:
+    """A JSON document in the repository's canonical on-disk format.
+
+    Indent-2, sorted keys, trailing newline — exactly how the golden
+    snapshots under ``tests/golden/`` are written, so a served result is
+    byte-comparable to its golden file.
+    """
+    return (
+        json.dumps(document, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    ).encode("utf-8")
+
+
+def error_response(status: int, message: str) -> HttpResponse:
+    """A JSON error response for ``status``."""
+    return HttpResponse(
+        status=status, body=json_body({"error": {"status": status, "message": message}})
+    )
+
+
+class ResultApp:
+    """The request handler bridging HTTP requests to the result service."""
+
+    def __init__(
+        self,
+        service: ResultService,
+        metrics: Optional[ServiceMetrics] = None,
+        *,
+        body_cache_size: int = DEFAULT_BODY_CACHE_SIZE,
+    ) -> None:
+        self.service = service
+        self.metrics = metrics if metrics is not None else service.metrics
+        self.body_cache_size = body_cache_size
+        self._body_cache: "OrderedDict[str, bytes]" = OrderedDict()
+
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch one request; never raises."""
+        self.metrics.requests_total += 1
+        self.metrics.in_flight_requests += 1
+        try:
+            response = await self._dispatch(request)
+        except ServeError as error:
+            response = error_response(error.status, str(error))
+        except Exception as error:  # a failed build must not kill the connection
+            print(
+                f"error: request {request.method} {request.target} failed: {error}",
+                file=sys.stderr,
+            )
+            response = error_response(500, f"{type(error).__name__}: {error}")
+        finally:
+            self.metrics.in_flight_requests -= 1
+        self.metrics.count_response(response.status)
+        return response
+
+    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        if request.method != "GET":
+            return HttpResponse(
+                status=405,
+                body=json_body(
+                    {"error": {"status": 405, "message": f"method {request.method} not allowed"}}
+                ),
+                headers=(("Allow", "GET"),),
+            )
+        path = request.path.rstrip("/") or "/"
+        if path == "/healthz":
+            return HttpResponse(status=200, body=json_body({"status": "ok"}))
+        if path == "/metrics":
+            return HttpResponse(status=200, body=json_body(self.metrics.snapshot()))
+        if path == "/experiments":
+            return HttpResponse(
+                status=200, body=json_body(self.service.describe_experiments())
+            )
+        if path.startswith(EXPERIMENTS_PREFIX):
+            experiment_id = path[len(EXPERIMENTS_PREFIX):]
+            if "/" not in experiment_id:
+                return await self._experiment(request, experiment_id)
+        raise ServeError(404, f"no route for {request.path!r}")
+
+    async def _experiment(self, request: HttpRequest, experiment_id: str) -> HttpResponse:
+        prepared = self.service.prepare(experiment_id, request.query)
+        etag = etag_for(prepared.key)
+        if if_none_match_matches(request.header("if-none-match"), etag):
+            # The key is derived purely from code + params + backend, so a
+            # matching If-None-Match answers without any disk access.
+            self.metrics.not_modified += 1
+            return HttpResponse(status=304, headers=(("ETag", etag),))
+        body = self._body_cache.get(prepared.key)
+        if body is not None:
+            # Content-addressed bodies are immutable, so the warm hot path
+            # is a dict lookup: no disk read, no JSON round-trip.
+            self._body_cache.move_to_end(prepared.key)
+            self.metrics.cache_hits += 1
+            self.metrics.memory_hits += 1
+            state = "hit"
+        else:
+            result, state = await self.service.fetch(prepared)
+            # Re-check: of N single-flight waiters resumed by one build, only
+            # the first pays for serialization; the rest find its bytes here
+            # (no await between this lookup and the insert below).
+            body = self._body_cache.get(prepared.key)
+            if body is None:
+                body = json_body(result.canonical_dict())
+                self._body_cache[prepared.key] = body
+                while len(self._body_cache) > self.body_cache_size:
+                    self._body_cache.popitem(last=False)
+            else:
+                self._body_cache.move_to_end(prepared.key)
+        return HttpResponse(
+            status=200,
+            body=body,
+            headers=(
+                ("ETag", etag),
+                ("X-Cache", state),
+                ("Cache-Control", "no-cache"),
+            ),
+        )

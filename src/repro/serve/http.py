@@ -1,0 +1,170 @@
+"""Minimal HTTP/1.1 request parsing and response encoding over asyncio streams.
+
+The result service deliberately depends on nothing beyond the standard
+library, so this module implements the narrow slice of HTTP it needs:
+GET request lines, a bounded header block, percent-decoded paths, query
+strings, keep-alive and ``If-None-Match``/``ETag`` handling.  Anything
+outside that slice (bodies, chunked encoding, upgrades) is rejected up
+front with a 400/405/431 rather than half-parsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+import asyncio
+
+from repro.core.exceptions import ServeError
+
+#: Upper bound on one request line or header line, in bytes.
+MAX_LINE_BYTES = 8192
+
+#: Upper bound on the number of header lines in one request.
+MAX_HEADER_COUNT = 100
+
+#: Reason phrases for every status the service emits.
+REASON_PHRASES = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request: method, decoded path, query multi-dict, headers."""
+
+    method: str
+    target: str
+    path: str
+    query: Mapping[str, List[str]]
+    version: str
+    headers: Mapping[str, str]
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """A header value by case-insensitive name."""
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should stay open after the response."""
+        connection = (self.header("connection") or "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One response ready to encode: status, JSON body, extra headers."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+    def encode(self, *, keep_alive: bool = True, head_only: bool = False) -> bytes:
+        """Serialize to wire bytes (status line, headers, blank line, body)."""
+        reason = REASON_PHRASES.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        if self.status != 304:
+            # A 304 must not carry Content-Type/Content-Length describing its
+            # (empty) body — RFC 9110 reserves those slots for the selected
+            # representation's metadata, which we don't re-derive.
+            lines.append(f"Content-Type: {self.content_type}")
+            lines.append(f"Content-Length: {len(self.body)}")
+        for name, value in self.headers:
+            lines.append(f"{name}: {value}")
+        lines.append("Connection: " + ("keep-alive" if keep_alive else "close"))
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        if head_only or self.status == 304:
+            return head
+        return head + self.body
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request from the stream.
+
+    Returns ``None`` on a clean end-of-stream before any byte of a request
+    (the client closed a keep-alive connection), raises :class:`ServeError`
+    on anything malformed.
+    """
+    try:
+        raw_line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ServeError(400, "truncated request line") from error
+    except asyncio.LimitOverrunError as error:
+        raise ServeError(431, "request line too long") from error
+    if len(raw_line) > MAX_LINE_BYTES:
+        raise ServeError(431, "request line too long")
+    request_line = raw_line.decode("latin-1").strip()
+    if not request_line:
+        raise ServeError(400, "empty request line")
+    parts = request_line.split()
+    if len(parts) != 3:
+        raise ServeError(400, f"malformed request line: {request_line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.0", "HTTP/1.1"):
+        raise ServeError(400, f"unsupported protocol version {version!r}")
+
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADER_COUNT + 1):
+        try:
+            raw_header = await reader.readuntil(b"\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as error:
+            raise ServeError(400, "truncated header block") from error
+        if len(raw_header) > MAX_LINE_BYTES:
+            raise ServeError(431, "header line too long")
+        line = raw_header.decode("latin-1").strip()
+        if not line:
+            break
+        name, separator, value = line.partition(":")
+        if not separator or not name.strip():
+            raise ServeError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise ServeError(431, "too many header lines")
+
+    split = urlsplit(target)
+    return HttpRequest(
+        method=method,
+        target=target,
+        path=unquote(split.path),
+        query=parse_qs(split.query, keep_blank_values=True),
+        version=version,
+        headers=headers,
+    )
+
+
+def etag_for(key: str) -> str:
+    """The strong entity tag for a cache key (the quoted key itself)."""
+    return f'"{key}"'
+
+
+def if_none_match_matches(header_value: Optional[str], etag: str) -> bool:
+    """Whether an ``If-None-Match`` header matches ``etag``.
+
+    Implements the subset a cache-key ETag needs: ``*`` matches anything,
+    otherwise the comma-separated candidates are compared after stripping
+    any weak ``W/`` prefix (weak comparison is fine for 304 purposes).
+    """
+    if not header_value:
+        return False
+    if header_value.strip() == "*":
+        return True
+    bare = etag.strip('"')
+    for candidate in header_value.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:].strip()
+        if candidate.strip('"') == bare:
+            return True
+    return False

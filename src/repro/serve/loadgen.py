@@ -1,0 +1,253 @@
+"""Load generator and throughput snapshot for the result service.
+
+``repro.cli bench-serve`` starts a server on an ephemeral port, drives it
+with this module's asyncio client, and records a three-phase throughput
+report (the ``BENCH_4.json`` CI artifact):
+
+- **cold** — one request per experiment against an empty cache: every
+  response is a miss that pays for a real computation;
+- **warm** — ``requests`` requests fanned over ``concurrency`` keep-alive
+  connections: every response is a cache hit, measuring the serving hot
+  path;
+- **conditional** — the same fan-out with ``If-None-Match`` set to the
+  ETags collected in the cold phase: every response is a ``304`` that
+  touches no disk at all.
+
+The client is stdlib-only (``asyncio.open_connection``) like the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.exceptions import ServeError
+
+#: Schema version of the ``BENCH_4.json`` snapshot document.
+SERVE_SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ClientResponse:
+    """One response as the bench client sees it."""
+
+    status: int
+    headers: Mapping[str, str]
+    body: bytes
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.headers.get(name.lower(), default)
+
+
+class BenchClient:
+    """One keep-alive connection issuing sequential GET requests."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "BenchClient":
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):  # pragma: no cover
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def get(
+        self, path: str, headers: Optional[Mapping[str, str]] = None
+    ) -> ClientResponse:
+        """Issue one GET and read the full response."""
+        if self._reader is None or self._writer is None:
+            raise ServeError(500, "client connection is not open")
+        lines = [f"GET {path} HTTP/1.1", f"Host: {self.host}:{self.port}"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        self._writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        await self._writer.drain()
+
+        status_line = (await self._reader.readline()).decode("latin-1").strip()
+        parts = status_line.split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServeError(500, f"malformed status line from server: {status_line!r}")
+        status = int(parts[1])
+        response_headers: Dict[str, str] = {}
+        while True:
+            line = (await self._reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        return ClientResponse(status=status, headers=response_headers, body=body)
+
+
+@dataclass
+class PhaseStats:
+    """One bench phase's aggregate numbers."""
+
+    requests: int = 0
+    seconds: float = 0.0
+    statuses: Dict[str, int] = field(default_factory=dict)
+    x_cache: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.requests / self.seconds if self.seconds > 0 else 0.0
+
+    def record(self, response: ClientResponse) -> None:
+        self.requests += 1
+        status = str(response.status)
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        x_cache = response.header("x-cache")
+        if x_cache:
+            self.x_cache[x_cache] = self.x_cache.get(x_cache, 0) + 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "seconds": self.seconds,
+            "requests_per_second": self.requests_per_second,
+            "statuses": dict(sorted(self.statuses.items())),
+            "x_cache": dict(sorted(self.x_cache.items())),
+        }
+
+
+@dataclass(frozen=True)
+class ServeBenchReport:
+    """All three phases plus the workload that produced them."""
+
+    experiments: Tuple[str, ...]
+    requests: int
+    concurrency: int
+    backend: Optional[str]
+    cold: PhaseStats
+    warm: PhaseStats
+    conditional: PhaseStats
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": SERVE_SNAPSHOT_VERSION,
+            "benchmark": "result_service",
+            "workload": {
+                "experiments": list(self.experiments),
+                "requests": self.requests,
+                "concurrency": self.concurrency,
+                "backend": self.backend,
+            },
+            "phases": {
+                "cold_misses": self.cold.as_dict(),
+                "warm_hits": self.warm.as_dict(),
+                "conditional_304": self.conditional.as_dict(),
+            },
+        }
+
+
+async def _fan_out(
+    host: str,
+    port: int,
+    paths: Sequence[str],
+    *,
+    requests: int,
+    concurrency: int,
+    headers_for: Optional[Mapping[str, Mapping[str, str]]] = None,
+) -> PhaseStats:
+    """Issue ``requests`` GETs round-robin over ``paths`` from ``concurrency``
+    keep-alive connections; returns the aggregated phase stats."""
+    stats = PhaseStats()
+    counter = iter(range(requests))
+
+    async def worker() -> List[ClientResponse]:
+        responses: List[ClientResponse] = []
+        async with BenchClient(host, port) as client:
+            for sequence in counter:
+                path = paths[sequence % len(paths)]
+                headers = dict(headers_for.get(path, {})) if headers_for else None
+                responses.append(await client.get(path, headers))
+        return responses
+
+    start = time.perf_counter()
+    all_responses = await asyncio.gather(
+        *(worker() for _ in range(max(1, min(concurrency, requests))))
+    )
+    stats.seconds = time.perf_counter() - start
+    for responses in all_responses:
+        for response in responses:
+            stats.record(response)
+    return stats
+
+
+async def run_serve_bench(
+    host: str,
+    port: int,
+    experiment_ids: Sequence[str],
+    *,
+    requests: int = 200,
+    concurrency: int = 8,
+    backend: Optional[str] = None,
+) -> ServeBenchReport:
+    """Drive a running server through the three phases and report."""
+    if not experiment_ids:
+        raise ServeError(400, "bench-serve needs at least one experiment")
+    if requests < 1 or concurrency < 1:
+        raise ServeError(400, "requests and concurrency must be >= 1")
+    suffix = f"?backend={backend}" if backend else ""
+    paths = [f"/experiments/{experiment_id}{suffix}" for experiment_id in experiment_ids]
+
+    cold = PhaseStats()
+    etags: Dict[str, str] = {}
+    async with BenchClient(host, port) as client:
+        start = time.perf_counter()
+        for path in paths:
+            response = await client.get(path)
+            cold.record(response)
+            etag = response.header("etag")
+            if etag:
+                etags[path] = etag
+        cold.seconds = time.perf_counter() - start
+
+    warm = await _fan_out(
+        host, port, paths, requests=requests, concurrency=concurrency
+    )
+    conditional = await _fan_out(
+        host,
+        port,
+        paths,
+        requests=requests,
+        concurrency=concurrency,
+        headers_for={path: {"If-None-Match": etag} for path, etag in etags.items()},
+    )
+    return ServeBenchReport(
+        experiments=tuple(experiment_ids),
+        requests=requests,
+        concurrency=concurrency,
+        backend=backend,
+        cold=cold,
+        warm=warm,
+        conditional=conditional,
+    )
+
+
+def write_serve_snapshot(report: ServeBenchReport, path: str) -> None:
+    """Write the ``BENCH_4.json`` throughput snapshot."""
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    except OSError as error:
+        raise ServeError(500, f"cannot write bench snapshot to {path!r}: {error}") from error

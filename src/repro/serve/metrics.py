@@ -1,0 +1,76 @@
+"""Counters the result service exposes at ``GET /metrics``.
+
+One instance lives on the server and is only ever mutated from the event
+loop thread, so plain integer fields are race-free without locks.  The
+snapshot is a flat JSON document so scrapers (and ``bench-serve``) can diff
+two snapshots without walking a schema.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class ServiceMetrics:
+    """Request, cache and build counters for one server process.
+
+    Attributes:
+        requests_total: requests parsed successfully (any route, any status).
+        responses_by_status: response count per HTTP status code.
+        cache_hits: results served from the content-addressed cache (from
+            disk or from the in-memory body cache).
+        memory_hits: the subset of ``cache_hits`` answered from the app's
+            in-memory body cache without touching disk at all.
+        cache_misses: requests that required (or joined) a computation.
+        not_modified: conditional requests answered ``304`` from the key alone.
+        builds: experiment computations actually submitted to the pool —
+            the single-flight invariant is ``builds <= cache_misses``.
+        build_failures: computations that raised instead of returning.
+        single_flight_joined: requests that piggybacked on an in-flight build
+            instead of starting their own.
+        in_flight_requests: requests currently being handled.
+        in_flight_builds: computations currently in the process pool.
+        fingerprint_refreshes: source edits the refresh loop picked up.
+    """
+
+    started_at: float = field(default_factory=time.time)
+    requests_total: int = 0
+    responses_by_status: Dict[int, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    memory_hits: int = 0
+    cache_misses: int = 0
+    not_modified: int = 0
+    builds: int = 0
+    build_failures: int = 0
+    single_flight_joined: int = 0
+    in_flight_requests: int = 0
+    in_flight_builds: int = 0
+    fingerprint_refreshes: int = 0
+
+    def count_response(self, status: int) -> None:
+        """Record one response with this status code."""
+        self.responses_by_status[status] = self.responses_by_status.get(status, 0) + 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The flat JSON document ``GET /metrics`` serves."""
+        return {
+            "uptime_seconds": max(0.0, time.time() - self.started_at),
+            "requests_total": self.requests_total,
+            "responses_by_status": {
+                str(status): count
+                for status, count in sorted(self.responses_by_status.items())
+            },
+            "cache_hits": self.cache_hits,
+            "memory_hits": self.memory_hits,
+            "cache_misses": self.cache_misses,
+            "not_modified": self.not_modified,
+            "builds": self.builds,
+            "build_failures": self.build_failures,
+            "single_flight_joined": self.single_flight_joined,
+            "in_flight_requests": self.in_flight_requests,
+            "in_flight_builds": self.in_flight_builds,
+            "fingerprint_refreshes": self.fingerprint_refreshes,
+        }

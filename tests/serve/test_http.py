@@ -1,0 +1,157 @@
+"""Tests for the stdlib HTTP parsing/encoding layer of the result service."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.exceptions import ServeError
+from repro.serve.http import (
+    MAX_HEADER_COUNT,
+    HttpResponse,
+    etag_for,
+    if_none_match_matches,
+    read_request,
+)
+
+
+def parse(raw: bytes):
+    """Feed raw bytes to the parser through a real StreamReader."""
+
+    async def _run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(_run())
+
+
+class TestRequestParsing:
+    def test_simple_get(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.query == {}
+        assert request.header("host") == "x"
+        assert request.keep_alive is True
+
+    def test_query_string_is_a_multidict(self):
+        request = parse(b"GET /experiments/figure1?step=2&tag=a&tag=b HTTP/1.1\r\n\r\n")
+        assert request.path == "/experiments/figure1"
+        assert request.query == {"step": ["2"], "tag": ["a", "b"]}
+
+    def test_percent_decoding(self):
+        request = parse(b"GET /experiments/fig%31 HTTP/1.1\r\n\r\n")
+        assert request.path == "/experiments/fig1"
+
+    def test_header_names_are_case_insensitive(self):
+        request = parse(b"GET / HTTP/1.1\r\nIf-None-Match: \"abc\"\r\n\r\n")
+        assert request.header("if-none-match") == '"abc"'
+        assert request.header("If-None-Match") == '"abc"'
+
+    def test_connection_close_disables_keep_alive(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert request.keep_alive is False
+
+    def test_http10_defaults_to_close(self):
+        assert parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive is False
+        request = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        assert request.keep_alive is True
+
+    def test_clean_eof_before_any_request_is_none(self):
+        assert parse(b"") is None
+
+
+class TestMalformedRequests:
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"GET\r\n\r\n",
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b"\r\nGET",
+        ],
+    )
+    def test_bad_request_line_is_400(self, raw):
+        with pytest.raises(ServeError) as excinfo:
+            parse(raw)
+        assert excinfo.value.status == 400
+
+    def test_truncated_request_line_is_400(self):
+        with pytest.raises(ServeError) as excinfo:
+            parse(b"GET /x HT")
+        assert excinfo.value.status == 400
+
+    def test_bad_header_line_is_400(self):
+        with pytest.raises(ServeError) as excinfo:
+            parse(b"GET /x HTTP/1.1\r\nnot a header\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_too_many_headers_is_431(self):
+        headers = b"".join(
+            b"h%d: v\r\n" % index for index in range(MAX_HEADER_COUNT + 1)
+        )
+        with pytest.raises(ServeError) as excinfo:
+            parse(b"GET /x HTTP/1.1\r\n" + headers + b"\r\n")
+        assert excinfo.value.status == 431
+
+    def test_oversized_request_line_is_431(self):
+        with pytest.raises(ServeError) as excinfo:
+            parse(b"GET /" + b"a" * 9000 + b" HTTP/1.1\r\n\r\n")
+        assert excinfo.value.status == 431
+
+
+class TestResponseEncoding:
+    def test_basic_response_wire_format(self):
+        response = HttpResponse(status=200, body=b'{"ok": true}\n')
+        wire = response.encode(keep_alive=True)
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: application/json" in head
+        assert b"Content-Length: 13" in head
+        assert b"Connection: keep-alive" in head
+        assert body == b'{"ok": true}\n'
+
+    def test_close_response(self):
+        wire = HttpResponse(status=404, body=b"{}").encode(keep_alive=False)
+        assert b"Connection: close" in wire
+
+    def test_304_has_no_body(self):
+        response = HttpResponse(status=304, headers=(("ETag", '"k"'),))
+        wire = response.encode(keep_alive=True)
+        assert wire.startswith(b"HTTP/1.1 304 Not Modified\r\n")
+        assert wire.endswith(b"\r\n\r\n")
+        assert b'ETag: "k"' in wire
+
+    def test_extra_headers_are_emitted(self):
+        wire = HttpResponse(
+            status=200, body=b"{}", headers=(("X-Cache", "hit"),)
+        ).encode()
+        assert b"X-Cache: hit" in wire
+
+
+class TestETags:
+    def test_etag_is_the_quoted_key(self):
+        assert etag_for("abc123") == '"abc123"'
+
+    def test_exact_match(self):
+        assert if_none_match_matches('"abc"', '"abc"') is True
+
+    def test_no_match(self):
+        assert if_none_match_matches('"xyz"', '"abc"') is False
+
+    def test_star_matches_anything(self):
+        assert if_none_match_matches("*", '"abc"') is True
+
+    def test_list_of_candidates(self):
+        assert if_none_match_matches('"one", "abc", "two"', '"abc"') is True
+
+    def test_weak_prefix_is_stripped(self):
+        assert if_none_match_matches('W/"abc"', '"abc"') is True
+
+    def test_missing_header_never_matches(self):
+        assert if_none_match_matches(None, '"abc"') is False
+        assert if_none_match_matches("", '"abc"') is False

@@ -150,9 +150,114 @@ class TestEntropyCommand:
         assert main(["entropy", "a=notanumber"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_duplicate_name_is_an_error(self, capsys):
+        assert main(["entropy", "a=1", "a=2"]) == 1
+        error = capsys.readouterr().err
+        assert "duplicate name" in error
+        assert "'a'" in error
+
+    def test_duplicate_name_among_many_is_an_error(self, capsys):
+        assert main(["entropy", "a=1", "b=2", "a=3"]) == 1
+        assert "duplicate name" in capsys.readouterr().err
+
     def test_missing_command_exits_with_usage_error(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestMergeRequiresResults:
+    def test_merge_without_results_is_a_usage_error(self, capsys):
+        assert main(["run", "example1", "--merge"]) == 2
+        assert "--merge requires --results" in capsys.readouterr().err
+
+    def test_merge_with_results_still_works(self, tmp_path, capsys):
+        path = tmp_path / "RESULTS.json"
+        assert main(["run", "example1", "--quiet", "--results", str(path)]) == 0
+        assert (
+            main(["run", "figure1", "--quiet", "--results", str(path), "--merge"]) == 0
+        )
+        document = json.loads(path.read_text())
+        assert set(document["results"]) == {"example1", "figure1"}
+
+
+class TestCacheCommand:
+    def test_stats_is_the_default_action(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["run", "example1", "--quiet", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(cache_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "live entries" in output
+
+    def test_prune_removes_stale_entries(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments.orchestrator import cache as cache_module
+
+        cache_dir = tmp_path / "cache"
+        assert main(["run", "example1", "--quiet", "--cache-dir", str(cache_dir)]) == 0
+        monkeypatch.setattr(cache_module, "_package_fingerprint_cache", "0" * 64)
+        capsys.readouterr()
+        assert main(["cache", "--prune", "--cache-dir", str(cache_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "removed 1 stale entries" in output
+        assert not list(cache_dir.glob("*.json"))
+
+    def test_clear_removes_live_entries(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["run", "example1", "--quiet", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert not list(cache_dir.glob("*.json"))
+
+    def test_prune_and_clear_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["cache", "--prune", "--clear"])
+
+
+class TestBenchServeCommand:
+    def test_bench_serve_writes_snapshot(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_4.json"
+        assert (
+            main(
+                [
+                    "bench-serve",
+                    "example1",
+                    "--requests",
+                    "8",
+                    "--concurrency",
+                    "2",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "warm (cache hits)" in printed
+        document = json.loads(output.read_text())
+        assert document["benchmark"] == "result_service"
+        assert document["phases"]["cold_misses"]["statuses"] == {"200": 1}
+        assert document["phases"]["warm_hits"]["statuses"] == {"200": 8}
+        assert document["phases"]["warm_hits"]["x_cache"] == {"hit": 8}
+        assert document["phases"]["conditional_304"]["statuses"] == {"304": 8}
+
+    def test_bench_serve_unknown_experiment_is_a_usage_error(self, capsys):
+        assert main(["bench-serve", "nope"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_busy_port_is_a_clean_error(self, capsys):
+        import socket
+
+        with socket.socket() as blocker:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            assert main(["serve", "--port", str(port)]) == 1
+        error = capsys.readouterr().err
+        assert "cannot serve on" in error
+        assert str(port) in error
 
 
 class TestBackendsCommand:
