@@ -1,0 +1,72 @@
+"""Benchmark: scalar vs batched campaign trials on the campaign engine.
+
+Both backends run the identical workload — same scenario population, same
+exploit budget, same counter-based RNG seed — so the timing comparison is
+apples-to-apples and the recorded results double as the strongest
+cross-backend check in the suite: campaign kernels share one RNG stream, so
+the estimates must be *identical*, not merely close.
+
+Run with::
+
+    pytest benchmarks/test_bench_campaign.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import available_backends
+from repro.faults.engine import BatchCampaignEngine
+from repro.faults.scenarios import ecosystem_scenario
+
+#: Workload matching the BENCH_5.json acceptance snapshot, scaled down 4x so
+#: the scalar path keeps the benchmark suite fast.
+TRIALS = 2_500
+REPLICAS = 150
+BUDGET = 4
+
+SCENARIO = ecosystem_scenario(
+    ecosystem="default",
+    population_size=REPLICAS,
+    seed=42,
+    exploit_probability=0.6,
+)
+
+
+def _estimate(backend, trials=TRIALS):
+    engine = BatchCampaignEngine(
+        SCENARIO.population, SCENARIO.catalog, backend=backend
+    )
+    return engine.estimate_worst_case(
+        max_vulnerabilities=BUDGET, trials=trials, seed=42
+    )
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_campaign_throughput_by_backend(benchmark, backend):
+    estimate = benchmark(_estimate, backend)
+    assert estimate.trials == TRIALS
+    # budget-4 exploits against the default ecosystem's dominant components
+    # compromise well beyond the BFT tolerance in nearly every trial.
+    assert estimate.violation_probability > 0.9
+    assert 1 / 3 < estimate.mean_compromised_fraction <= 1.0
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_single_vulnerability_campaign_throughput(benchmark, backend):
+    engine = BatchCampaignEngine(
+        SCENARIO.population, SCENARIO.catalog, backend=backend
+    )
+    estimate = benchmark(
+        engine.estimate_worst_case,
+        max_vulnerabilities=1,
+        trials=TRIALS,
+        seed=7,
+    )
+    assert 0.0 <= estimate.violation_probability <= 1.0
+
+
+def test_backends_are_identical_on_the_benchmark_workload():
+    estimates = [_estimate(backend, trials=500) for backend in available_backends()]
+    for other in estimates[1:]:
+        assert other == estimates[0]

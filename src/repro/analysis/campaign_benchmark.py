@@ -1,0 +1,197 @@
+"""Benchmark harness for the batched campaign engine.
+
+Times :meth:`BatchCampaignEngine.estimate` — thousands of randomized exploit
+campaigns over one ecosystem-sampled population — on every available compute
+backend.  Because the campaign kernels draw from a shared counter-based RNG
+stream, the backends must produce *identical* results here, which makes this
+benchmark double as the strongest cross-backend equivalence check: the
+recorded violation counts are asserted equal, not just close.
+
+The snapshot (``BENCH_5.json`` in CI) records scalar-vs-batched campaign
+throughput the same way ``BENCH_1.json`` records the census-mode estimator:
+the pure-Python backend *is* the scalar per-trial loop, so
+``speedup_numpy_over_python`` is the batched-over-scalar factor future
+optimization PRs have to beat.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.backend import available_backends
+from repro.core.exceptions import AnalysisError
+from repro.faults.engine import BatchCampaignEngine, CampaignEstimate
+from repro.faults.scenarios import ecosystem_scenario
+
+#: Schema version of the snapshot document.
+CAMPAIGN_SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CampaignTiming:
+    """One backend's measurement on the campaign benchmark workload."""
+
+    backend: str
+    seconds: float
+    trials_per_second: float
+    violations: int
+    violation_probability: float
+    mean_compromised_fraction: float
+
+
+@dataclass(frozen=True)
+class CampaignBenchmarkReport:
+    """All backend timings for one campaign workload."""
+
+    trials: int
+    replicas: int
+    vulnerabilities: int
+    ecosystem: str
+    exploit_probability: float
+    budget: int
+    seed: int
+    repeats: int
+    timings: Tuple[CampaignTiming, ...]
+
+    def timing(self, backend: str) -> CampaignTiming:
+        for timing in self.timings:
+            if timing.backend == backend:
+                return timing
+        raise AnalysisError(f"backend {backend!r} was not benchmarked")
+
+    def speedup_over_python(self, backend: str) -> Optional[float]:
+        """``python_seconds / backend_seconds``; None when python was not run."""
+        names = {timing.backend for timing in self.timings}
+        if "python" not in names or backend not in names:
+            return None
+        return self.timing("python").seconds / self.timing(backend).seconds
+
+    def as_dict(self) -> Dict:
+        """JSON-serializable snapshot of the report."""
+        document: Dict = {
+            "version": CAMPAIGN_SNAPSHOT_VERSION,
+            "benchmark": "batch_campaign_engine",
+            "workload": {
+                "trials": self.trials,
+                "replicas": self.replicas,
+                "vulnerabilities": self.vulnerabilities,
+                "ecosystem": self.ecosystem,
+                "exploit_probability": self.exploit_probability,
+                "budget": self.budget,
+                "seed": self.seed,
+                "repeats": self.repeats,
+            },
+            "results": {
+                timing.backend: {
+                    "seconds": timing.seconds,
+                    "trials_per_second": timing.trials_per_second,
+                    "violations": timing.violations,
+                    "violation_probability": timing.violation_probability,
+                    "mean_compromised_fraction": timing.mean_compromised_fraction,
+                }
+                for timing in self.timings
+            },
+        }
+        for timing in self.timings:
+            if timing.backend != "python":
+                speedup = self.speedup_over_python(timing.backend)
+                if speedup is not None:
+                    document[f"speedup_{timing.backend}_over_python"] = speedup
+        return document
+
+
+def benchmark_campaigns(
+    *,
+    trials: int = 10_000,
+    replicas: int = 150,
+    ecosystem: str = "default",
+    exploit_probability: float = 0.6,
+    budget: int = 4,
+    seed: int = 42,
+    repeats: int = 2,
+    backends: Optional[Tuple[str, ...]] = None,
+) -> CampaignBenchmarkReport:
+    """Time the campaign engine on each backend with a shared workload.
+
+    Each backend gets one small untimed warmup, then ``repeats`` timed runs
+    of which the fastest counts.  The campaign kernels are bit-identical
+    across backends by contract; any disagreement in the violation counts
+    raises :class:`~repro.core.exceptions.AnalysisError`.
+    """
+    if trials <= 0 or replicas <= 0:
+        raise AnalysisError("trials and replicas must be positive")
+    if repeats <= 0:
+        raise AnalysisError("repeats must be positive")
+    scenario = ecosystem_scenario(
+        ecosystem=ecosystem,
+        population_size=replicas,
+        seed=seed,
+        exploit_probability=exploit_probability,
+    )
+    selected = tuple(backends) if backends is not None else available_backends()
+    if not selected:
+        raise AnalysisError("no backends selected for benchmarking")
+    timings = []
+    reference: Optional[CampaignEstimate] = None
+    for name in selected:
+        engine = BatchCampaignEngine(
+            scenario.population, scenario.catalog, backend=name
+        )
+
+        def run(run_trials: int = trials) -> CampaignEstimate:
+            return engine.estimate_worst_case(
+                max_vulnerabilities=budget,
+                trials=run_trials,
+                seed=seed,
+            )
+
+        run(min(trials, 500))  # warmup (array conversion, caches)
+        estimate = None
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            estimate = run()
+            best = min(best, time.perf_counter() - start)
+        if reference is None:
+            reference = estimate
+        elif estimate != reference:
+            raise AnalysisError(
+                f"backend {name!r} broke the cross-backend identity contract: "
+                f"{estimate.violations} != {reference.violations} violations"
+            )
+        timings.append(
+            CampaignTiming(
+                backend=name,
+                seconds=best,
+                trials_per_second=trials / best,
+                violations=estimate.violations,
+                violation_probability=estimate.violation_probability,
+                mean_compromised_fraction=estimate.mean_compromised_fraction,
+            )
+        )
+    return CampaignBenchmarkReport(
+        trials=trials,
+        replicas=replicas,
+        vulnerabilities=len(scenario.catalog),
+        ecosystem=ecosystem,
+        exploit_probability=exploit_probability,
+        budget=budget,
+        seed=seed,
+        repeats=repeats,
+        timings=tuple(timings),
+    )
+
+
+def write_campaign_snapshot(report: CampaignBenchmarkReport, path: str) -> None:
+    """Write a campaign benchmark report to ``path`` as indented JSON."""
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    except OSError as error:
+        raise AnalysisError(
+            f"cannot write benchmark snapshot to {path!r}: {error}"
+        ) from error

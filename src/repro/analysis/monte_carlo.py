@@ -24,6 +24,7 @@ from repro.backend.selection import BackendLike
 from repro.core.distribution import ConfigurationDistribution
 from repro.core.exceptions import AnalysisError
 from repro.core.resilience import ProtocolFamily, tolerated_fault_fraction
+from repro.faults.engine import run_census_trials
 
 
 @dataclass(frozen=True)
@@ -95,14 +96,16 @@ def estimate_violation_probability(
     if not 0.0 < tolerance <= 1.0:
         raise AnalysisError(f"tolerated fraction must be in (0, 1], got {tolerance}")
 
-    resolved = get_backend(backend)
-    batch = resolved.violation_trials(
-        census.sorted_probabilities_array(resolved),
+    # Census-mode trials route through the campaign engine's backend seam;
+    # the kernel, RNG streams and therefore every number are unchanged.
+    batch = run_census_trials(
+        census,
         vulnerability_probability=vulnerability_probability,
         exploit_budget=exploit_budget,
         trials=trials,
         seed=seed,
         tolerance=tolerance,
+        backend=backend,
     )
     return SafetyViolationEstimate(
         trials=batch.trials,

@@ -26,6 +26,40 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, Hashable, Sequence, Tuple
 
+#: Slack applied when a compromised-power *fraction* is compared against a
+#: tolerance (mirrors ``CampaignOutcome.violates``): a trial violates safety
+#: when ``compromised / total >= tolerance - CAMPAIGN_FRACTION_SLACK``.
+CAMPAIGN_FRACTION_SLACK = 1e-12
+
+# -- counter-based campaign RNG ------------------------------------------------
+#
+# The campaign kernels draw their per-(trial, replica, vulnerability) exploit
+# indicators from a *counter-based* splitmix64 stream instead of a sequential
+# generator: uniform #n depends only on (seed, n), never on how many draws
+# came before it.  That is what makes the batched NumPy kernel and the scalar
+# fallback bit-identical — the scalar path may skip unexposed cells entirely
+# while the array path masks them after a dense draw, and both still read the
+# exact same uniforms for the cells that matter.
+
+_MASK64 = (1 << 64) - 1
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+_SPLITMIX_MIX1 = 0xBF58476D1CE4E5B9
+_SPLITMIX_MIX2 = 0x94D049BB133111EB
+_INV_2_53 = 1.0 / (1 << 53)
+
+
+def campaign_uniform(seed: int, index: int) -> float:
+    """Uniform in ``[0, 1)`` for cell ``index`` of the seeded campaign stream.
+
+    This is the scalar reference implementation (splitmix64 finalizer over a
+    Weyl sequence); array backends must reproduce it bit for bit.
+    """
+    z = ((seed & _MASK64) + ((index + 1) * _SPLITMIX_GAMMA)) & _MASK64
+    z = ((z ^ (z >> 30)) * _SPLITMIX_MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _SPLITMIX_MIX2) & _MASK64
+    z ^= z >> 31
+    return (z >> 11) * _INV_2_53
+
 
 @dataclass(frozen=True)
 class TrialBatchResult:
@@ -41,6 +75,28 @@ class TrialBatchResult:
     trials: int
     violations: int
     compromised_total: float
+
+
+@dataclass(frozen=True)
+class CampaignBatchResult:
+    """Aggregate outcome of a batch of randomized exploit-campaign trials.
+
+    Attributes:
+        trials: number of campaign trials simulated.
+        violations: trials whose compromised-power fraction reached the
+            tolerance (with :data:`CAMPAIGN_FRACTION_SLACK`).
+        compromised_total: sum of compromised voting power (absolute units)
+            over all trials; ``compromised_total / (trials * total_power)``
+            is the mean compromised fraction.
+        per_vulnerability_totals: per-column sums of the power compromised
+            through each exploited vulnerability (the ``f_t^i`` of Section
+            II-C), accumulated over all trials in column order.
+    """
+
+    trials: int
+    violations: int
+    compromised_total: float
+    per_vulnerability_totals: Tuple[float, ...]
 
 
 class ComputeBackend(abc.ABC):
@@ -86,6 +142,60 @@ class ComputeBackend(abc.ABC):
             seed: RNG seed; fixes the backend's stream deterministically.
             tolerance: compromised-power fraction at which a trial counts as
                 a safety violation.
+        """
+
+    # -- campaign kernels -------------------------------------------------------
+
+    @abc.abstractmethod
+    def masked_power_sums(
+        self,
+        exposure: Sequence[Sequence[float]],
+        powers: Sequence[float],
+    ) -> Tuple[float, ...]:
+        """Per-column masked power reduction: ``powers @ exposure``.
+
+        ``exposure`` is a replicas × vulnerabilities 0/1 matrix (each row the
+        indicator vector of one replica's fault domains) and ``powers`` the
+        per-replica voting power; the result is each vulnerability's exposed
+        power — the ``f_t^i`` upper bound before exploit reliability.
+
+        Array backends reduce along the replica axis with their native
+        (pairwise) summation; the scalar fallback sums sequentially in row
+        order.  The two are bit-identical whenever the power values sum
+        exactly in float64 (integers and other dyadic rationals — every
+        shipped scenario), and agree to float tolerance otherwise.
+        """
+
+    @abc.abstractmethod
+    def campaign_trials(
+        self,
+        exposure: Sequence[Sequence[float]],
+        powers: Sequence[float],
+        success_probabilities: Sequence[float],
+        *,
+        trials: int,
+        seed: int,
+        tolerance: float,
+        total_power: float,
+    ) -> CampaignBatchResult:
+        """Run ``trials`` randomized exploit campaigns over an exposure matrix.
+
+        In every trial, each (replica, vulnerability) cell with
+        ``exposure[r][v] != 0`` is independently compromised with probability
+        ``success_probabilities[v]``; a replica compromised through *any*
+        vulnerability contributes its power once to the trial's compromised
+        total (and to each relevant per-vulnerability ``f_t^i``), and the
+        trial violates safety when the compromised fraction of
+        ``total_power`` reaches ``tolerance`` (slack
+        :data:`CAMPAIGN_FRACTION_SLACK`).
+
+        The exploit indicator for cell ``(t, r, v)`` is
+        ``campaign_uniform(seed, t*R*V + r*V + v) < success_probabilities[v]``
+        with ``R = len(powers)`` and ``V = len(success_probabilities)``, so
+        every backend draws the **same stream** and the results are
+        bit-identical across backends (float reductions under the same
+        dyadic-power caveat as :meth:`masked_power_sums`; the violation
+        verdicts and counts agree exactly for the shipped scenarios).
         """
 
     # -- entropy kernel ---------------------------------------------------------
@@ -136,6 +246,19 @@ class ComputeBackend(abc.ABC):
         treat it as immutable (copy before mutating).
         """
 
+    @abc.abstractmethod
+    def asarray_matrix(
+        self, rows: Sequence[Sequence[float]]
+    ) -> Sequence[Sequence[float]]:
+        """The backend's preferred 2-D representation of a row-major matrix.
+
+        The pure-Python backend returns a tuple of row tuples; array backends
+        return their native 2-D array, frozen read-only.
+        :class:`~repro.faults.matrix.PopulationMatrix` caches the result per
+        backend so the campaign kernels receive a ready-made matrix — callers
+        must treat it as immutable.
+        """
+
     # -- misc -------------------------------------------------------------------
 
     def __repr__(self) -> str:
@@ -171,3 +294,43 @@ def validate_trial_arguments(
         raise BackendError(f"tolerance must be in (0, 1], got {tolerance}")
     if any(later > earlier for earlier, later in zip(shares, shares[1:])):
         raise BackendError("shares must be sorted in descending order")
+
+
+def validate_campaign_arguments(
+    exposure: Sequence[Sequence[float]],
+    powers: Sequence[float],
+    success_probabilities: Sequence[float],
+    *,
+    trials: int,
+    tolerance: float,
+    total_power: float,
+) -> None:
+    """Shared argument validation for :meth:`ComputeBackend.campaign_trials`."""
+    from repro.core.exceptions import BackendError
+
+    replica_count = len(powers)
+    column_count = len(success_probabilities)
+    if replica_count == 0:
+        raise BackendError("campaign_trials needs at least one replica")
+    if column_count == 0:
+        raise BackendError("campaign_trials needs at least one vulnerability")
+    if len(exposure) != replica_count:
+        raise BackendError(
+            f"exposure has {len(exposure)} rows for {replica_count} replicas"
+        )
+    for row in exposure:
+        if len(row) != column_count:
+            raise BackendError(
+                f"exposure row has {len(row)} columns for "
+                f"{column_count} vulnerabilities"
+            )
+    if any(power < 0 for power in powers):
+        raise BackendError("replica powers must be non-negative")
+    if any(not 0.0 <= p <= 1.0 for p in success_probabilities):
+        raise BackendError("success probabilities must be in [0, 1]")
+    if trials <= 0:
+        raise BackendError(f"trial count must be positive, got {trials}")
+    if not 0.0 < tolerance <= 1.0:
+        raise BackendError(f"tolerance must be in (0, 1], got {tolerance}")
+    if total_power <= 0:
+        raise BackendError(f"total power must be positive, got {total_power}")

@@ -17,9 +17,21 @@ deterministic for a fixed seed on this backend.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Tuple
 
-from repro.backend.base import ComputeBackend, TrialBatchResult, validate_trial_arguments
+from repro.backend.base import (
+    CAMPAIGN_FRACTION_SLACK,
+    CampaignBatchResult,
+    ComputeBackend,
+    TrialBatchResult,
+    _INV_2_53,
+    _MASK64,
+    _SPLITMIX_GAMMA,
+    _SPLITMIX_MIX1,
+    _SPLITMIX_MIX2,
+    validate_campaign_arguments,
+    validate_trial_arguments,
+)
 from repro.core.exceptions import BackendError
 
 try:  # pragma: no cover - exercised indirectly via is_available()
@@ -119,6 +131,92 @@ class NumpyBackend(ComputeBackend):
             compromised_total=compromised_total,
         )
 
+    def masked_power_sums(
+        self,
+        exposure: Sequence[Sequence[float]],
+        powers: Sequence[float],
+    ) -> Tuple[float, ...]:
+        matrix = _np.asarray(exposure, dtype=_np.float64)
+        power_row = _np.asarray(powers, dtype=_np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != power_row.size:
+            raise BackendError(
+                f"exposure shape {matrix.shape} does not match "
+                f"{power_row.size} replica powers"
+            )
+        return tuple(float(value) for value in power_row @ matrix)
+
+    def campaign_trials(
+        self,
+        exposure: Sequence[Sequence[float]],
+        powers: Sequence[float],
+        success_probabilities: Sequence[float],
+        *,
+        trials: int,
+        seed: int,
+        tolerance: float,
+        total_power: float,
+    ) -> CampaignBatchResult:
+        validate_campaign_arguments(
+            exposure,
+            powers,
+            success_probabilities,
+            trials=trials,
+            tolerance=tolerance,
+            total_power=total_power,
+        )
+        exposed = _np.asarray(exposure, dtype=_np.float64) > 0
+        power_row = _np.asarray(powers, dtype=_np.float64)
+        probability_row = _np.asarray(success_probabilities, dtype=_np.float64)
+        replica_count, column_count = exposed.shape
+        cells_per_trial = replica_count * column_count
+        threshold = tolerance - CAMPAIGN_FRACTION_SLACK
+        # Per-cell uniforms come from the shared counter-based splitmix64
+        # stream (see repro.backend.base.campaign_uniform) so the dense draw
+        # here reads the exact same numbers the scalar fallback computes for
+        # the exposed cells it visits.
+        seed64 = _np.uint64(seed & _MASK64)
+        gamma = _np.uint64(_SPLITMIX_GAMMA)
+        cell_offsets = (
+            _np.arange(replica_count, dtype=_np.uint64)[:, None]
+            * _np.uint64(column_count)
+            + _np.arange(column_count, dtype=_np.uint64)[None, :]
+        )
+        chunk_trials = max(1, _CHUNK_CELLS // max(1, cells_per_trial))
+        violations = 0
+        compromised_total = 0.0
+        per_vulnerability = _np.zeros(column_count, dtype=_np.float64)
+        start = 0
+        while start < trials:
+            batch = min(chunk_trials, trials - start)
+            counters = (
+                _np.arange(start, start + batch, dtype=_np.uint64)[:, None, None]
+                * _np.uint64(cells_per_trial)
+                + cell_offsets[None, :, :]
+            )
+            z = (seed64 + (counters + _np.uint64(1)) * gamma)
+            z = (z ^ (z >> _np.uint64(30))) * _np.uint64(_SPLITMIX_MIX1)
+            z = (z ^ (z >> _np.uint64(27))) * _np.uint64(_SPLITMIX_MIX2)
+            z ^= z >> _np.uint64(31)
+            uniforms = (z >> _np.uint64(11)).astype(_np.float64) * _INV_2_53
+            success = exposed[None, :, :] & (uniforms < probability_row[None, None, :])
+            per_vulnerability += _np.einsum(
+                "trv,r->v", success.astype(_np.float64), power_row
+            )
+            compromised = success.any(axis=2).astype(_np.float64) @ power_row
+            violations += int(
+                _np.count_nonzero(compromised / total_power >= threshold)
+            )
+            compromised_total += float(compromised.sum())
+            start += batch
+        return CampaignBatchResult(
+            trials=trials,
+            violations=violations,
+            compromised_total=compromised_total,
+            per_vulnerability_totals=tuple(
+                float(value) for value in per_vulnerability
+            ),
+        )
+
     def shannon_entropy(self, probabilities: Sequence[float], *, base: float = 2.0) -> float:
         if base <= 0 or base == 1:
             raise BackendError(f"logarithm base must be positive and != 1, got {base}")
@@ -136,4 +234,15 @@ class NumpyBackend(ComputeBackend):
             # freeze so nobody can poison the shared copy in place.
             array.setflags(write=False)
         return array
+
+    def asarray_matrix(self, rows: Sequence[Sequence[float]]) -> "_np.ndarray":
+        matrix = _np.asarray(rows, dtype=_np.float64)
+        if matrix.ndim != 2:
+            raise BackendError(
+                f"expected a row-major 2-D matrix, got {matrix.ndim} dimension(s)"
+            )
+        if matrix.flags.writeable:
+            # Cached by PopulationMatrix per backend; freeze the shared copy.
+            matrix.setflags(write=False)
+        return matrix
 

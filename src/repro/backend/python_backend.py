@@ -11,10 +11,23 @@ backends are tested against.
 from __future__ import annotations
 
 import random
-from typing import Sequence
+from typing import Sequence, Tuple
 
-from repro.backend.base import ComputeBackend, TrialBatchResult, validate_trial_arguments
+from repro.backend.base import (
+    CAMPAIGN_FRACTION_SLACK,
+    CampaignBatchResult,
+    ComputeBackend,
+    TrialBatchResult,
+    _INV_2_53,
+    _MASK64,
+    _SPLITMIX_GAMMA,
+    _SPLITMIX_MIX1,
+    _SPLITMIX_MIX2,
+    validate_campaign_arguments,
+    validate_trial_arguments,
+)
 from repro.core import entropy as entropy_module
+from repro.core.exceptions import BackendError
 
 
 class PythonBackend(ComputeBackend):
@@ -59,8 +72,107 @@ class PythonBackend(ComputeBackend):
             compromised_total=compromised_total,
         )
 
+    def masked_power_sums(
+        self,
+        exposure: Sequence[Sequence[float]],
+        powers: Sequence[float],
+    ) -> Tuple[float, ...]:
+        if len(exposure) != len(powers):
+            raise BackendError(
+                f"exposure has {len(exposure)} rows for {len(powers)} replica powers"
+            )
+        column_count = len(exposure[0]) if len(exposure) else 0
+        sums = [0.0] * column_count
+        for row, power in zip(exposure, powers):
+            if len(row) != column_count:
+                raise BackendError(
+                    f"exposure row has {len(row)} columns, expected {column_count}"
+                )
+            for column in range(column_count):
+                if row[column]:
+                    sums[column] += power
+        return tuple(sums)
+
+    def campaign_trials(
+        self,
+        exposure: Sequence[Sequence[float]],
+        powers: Sequence[float],
+        success_probabilities: Sequence[float],
+        *,
+        trials: int,
+        seed: int,
+        tolerance: float,
+        total_power: float,
+    ) -> CampaignBatchResult:
+        validate_campaign_arguments(
+            exposure,
+            powers,
+            success_probabilities,
+            trials=trials,
+            tolerance=tolerance,
+            total_power=total_power,
+        )
+        replica_count = len(powers)
+        column_count = len(success_probabilities)
+        # The counter-based stream lets the scalar path visit *exposed* cells
+        # only — skipping a cell never shifts anyone else's uniform, so the
+        # results stay bit-identical to the dense array draw.
+        exposed_rows: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(row for row in range(replica_count) if exposure[row][column])
+            for column in range(column_count)
+        )
+        seed64 = seed & _MASK64
+        threshold = tolerance - CAMPAIGN_FRACTION_SLACK
+        cells_per_trial = replica_count * column_count
+        violations = 0
+        compromised_total = 0.0
+        per_vulnerability = [0.0] * column_count
+        for trial in range(trials):
+            base_index = trial * cells_per_trial
+            hit = [False] * replica_count
+            for column, probability in enumerate(success_probabilities):
+                if probability <= 0.0:
+                    continue
+                certain = probability >= 1.0
+                column_power = 0.0
+                for row in exposed_rows[column]:
+                    if not certain:
+                        # Inline campaign_uniform (splitmix64) — this is the
+                        # scalar hot loop.
+                        z = (
+                            seed64
+                            + (base_index + row * column_count + column + 1)
+                            * _SPLITMIX_GAMMA
+                        ) & _MASK64
+                        z = ((z ^ (z >> 30)) * _SPLITMIX_MIX1) & _MASK64
+                        z = ((z ^ (z >> 27)) * _SPLITMIX_MIX2) & _MASK64
+                        z ^= z >> 31
+                        if (z >> 11) * _INV_2_53 >= probability:
+                            continue
+                    column_power += powers[row]
+                    hit[row] = True
+                per_vulnerability[column] += column_power
+            compromised = 0.0
+            for row in range(replica_count):
+                if hit[row]:
+                    compromised += powers[row]
+            compromised_total += compromised
+            if compromised / total_power >= threshold:
+                violations += 1
+        return CampaignBatchResult(
+            trials=trials,
+            violations=violations,
+            compromised_total=compromised_total,
+            per_vulnerability_totals=tuple(per_vulnerability),
+        )
+
     def shannon_entropy(self, probabilities: Sequence[float], *, base: float = 2.0) -> float:
         return entropy_module.shannon_entropy(probabilities, base=base)
 
     def asarray(self, values: Sequence[float]) -> Sequence[float]:
         return tuple(float(value) for value in values)
+
+    def asarray_matrix(
+        self, rows: Sequence[Sequence[float]]
+    ) -> Tuple[Tuple[float, ...], ...]:
+        return tuple(tuple(float(value) for value in row) for row in rows)

@@ -21,7 +21,11 @@ Eight subcommands cover the common workflows without writing Python:
   shared fault in the largest configuration would break;
 - ``backends`` — show the registered compute backends and which one is active;
 - ``bench``    — time the Monte-Carlo estimator on every available backend and
-  optionally write a JSON perf snapshot (the CI ``BENCH_1.json`` artifact).
+  optionally write a JSON perf snapshot (the CI ``BENCH_1.json`` artifact);
+- ``bench-campaign`` — time the batched campaign engine (scalar python loop
+  vs vectorized batch) on every available backend and optionally write the
+  ``BENCH_5.json`` snapshot; the backends must produce identical campaign
+  results, so this doubles as a cross-backend identity check.
 
 Every subcommand honors the global ``--backend`` flag (and the
 ``REPRO_BACKEND`` environment variable) to select the compute backend.
@@ -40,6 +44,7 @@ Examples::
     python -m repro.cli entropy foundry=34.2 antpool=20.0 f2pool=13.0 rest=32.8
     python -m repro.cli backends
     python -m repro.cli bench --trials 10000 --configs 1000 --output BENCH_1.json
+    python -m repro.cli bench-campaign --trials 10000 --output BENCH_5.json
 """
 
 from __future__ import annotations
@@ -54,6 +59,11 @@ import tempfile
 from typing import Mapping, Optional, Sequence
 
 from repro.analysis.benchmark import benchmark_backends, write_snapshot
+from repro.analysis.campaign_benchmark import (
+    benchmark_campaigns,
+    write_campaign_snapshot,
+)
+from repro.faults.scenarios import ECOSYSTEM_GENERATORS
 from repro.analysis.report import Table
 from repro.backend import (
     AUTO,
@@ -332,6 +342,40 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the JSON perf snapshot here (e.g. BENCH_1.json)",
+    )
+
+    bench_campaign_parser = subparsers.add_parser(
+        "bench-campaign",
+        help="time the batched campaign engine on every available backend",
+    )
+    bench_campaign_parser.add_argument("--trials", type=int, default=10_000)
+    bench_campaign_parser.add_argument(
+        "--replicas", type=int, default=150, help="population size"
+    )
+    bench_campaign_parser.add_argument(
+        "--ecosystem",
+        choices=sorted(ECOSYSTEM_GENERATORS),
+        default="default",
+        help="ecosystem the benchmark population samples from",
+    )
+    bench_campaign_parser.add_argument(
+        "--exploit-probability",
+        type=float,
+        default=0.6,
+        help="per-replica exploit success probability",
+    )
+    bench_campaign_parser.add_argument(
+        "--budget", type=int, default=4, help="adversary exploit budget"
+    )
+    bench_campaign_parser.add_argument("--seed", type=int, default=42)
+    bench_campaign_parser.add_argument(
+        "--repeats", type=int, default=2, help="timed repeats per backend (best counts)"
+    )
+    bench_campaign_parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the JSON perf snapshot here (e.g. BENCH_5.json)",
     )
     return parser
 
@@ -656,6 +700,42 @@ def _command_bench(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_campaign(arguments: argparse.Namespace) -> int:
+    report = benchmark_campaigns(
+        trials=arguments.trials,
+        replicas=arguments.replicas,
+        ecosystem=arguments.ecosystem,
+        exploit_probability=arguments.exploit_probability,
+        budget=arguments.budget,
+        seed=arguments.seed,
+        repeats=arguments.repeats,
+    )
+    print(
+        f"campaign engine bench: {report.trials} randomized campaigns x "
+        f"{report.replicas} replicas x {report.vulnerabilities} vulnerabilities "
+        f"({report.ecosystem} ecosystem, budget={report.budget}, "
+        f"p_exploit={report.exploit_probability}, seed={report.seed})"
+    )
+    table = Table(
+        headers=("backend", "seconds", "campaigns/sec", "P[violation]", "vs python")
+    )
+    for timing in report.timings:
+        speedup = report.speedup_over_python(timing.backend)
+        table.add_row(
+            timing.backend,
+            timing.seconds,
+            timing.trials_per_second,
+            timing.violation_probability,
+            "-" if speedup is None else f"{speedup:.1f}x",
+        )
+    print(table.render())
+    print("backends produced identical campaign results: True")
+    if arguments.output:
+        write_campaign_snapshot(report, arguments.output)
+        print(f"snapshot written to {arguments.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -682,6 +762,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_backends()
         if arguments.command == "bench":
             return _command_bench(arguments)
+        if arguments.command == "bench-campaign":
+            return _command_bench_campaign(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

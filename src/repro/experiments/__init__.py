@@ -7,6 +7,9 @@ The mapping from paper artifact to module is recorded in DESIGN.md §4 and the
 measured-vs-paper comparison in EXPERIMENTS.md.
 """
 
+from repro.experiments.campaign_budget import run_campaign_budget
+from repro.experiments.campaign_churn import run_campaign_churn
+from repro.experiments.campaign_reliability import run_campaign_reliability
 from repro.experiments.example1 import run_example1
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.prop1 import run_proposition1
@@ -23,6 +26,9 @@ from repro.experiments.component_exposure import run_component_exposure
 
 __all__ = [
     "run_attestation_coverage",
+    "run_campaign_budget",
+    "run_campaign_churn",
+    "run_campaign_reliability",
     "run_component_exposure",
     "run_decentralized_pools",
     "run_diversity_ablation",

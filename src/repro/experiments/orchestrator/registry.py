@@ -14,6 +14,9 @@ from typing import Dict, List, Tuple
 from repro.core.exceptions import OrchestrationError
 from repro.experiments import (
     attestation_coverage,
+    campaign_budget,
+    campaign_churn,
+    campaign_reliability,
     component_exposure,
     decentralized_pools,
     diversity_ablation,
@@ -44,6 +47,9 @@ ALL_SPECS: Tuple[ExperimentSpec, ...] = (
     vulnerability_window.SPEC,
     decentralized_pools.SPEC,
     component_exposure.SPEC,
+    campaign_budget.SPEC,
+    campaign_reliability.SPEC,
+    campaign_churn.SPEC,
 )
 
 _BY_ID: Dict[str, ExperimentSpec] = {spec.experiment_id: spec for spec in ALL_SPECS}

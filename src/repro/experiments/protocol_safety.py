@@ -101,7 +101,13 @@ def _shared_client_population(count: int, shared_indices: Sequence[int]) -> Repl
 
 
 def _campaign_schedule(population: ReplicaPopulation) -> Tuple[FaultSchedule, int]:
-    """Exploit the single most damaging vulnerability against ``population``."""
+    """Exploit the single most damaging vulnerability against ``population``.
+
+    Target selection and fault-domain resolution run over the campaign's
+    array-backed :class:`~repro.faults.matrix.PopulationMatrix` (one masked
+    matrix–vector reduction on the compute backend); with the catalog's
+    deterministic exploits the outcome is identical to the scalar model.
+    """
     catalog = VulnerabilityCatalog.for_population(population)
     campaign = ExploitCampaign(population, catalog)
     outcome = campaign.run_worst_case(max_vulnerabilities=1)

@@ -10,6 +10,11 @@ compromises more voting power than the protocol tolerates.
 The expected shape: the violation probability is near 1 for low-entropy
 censuses and falls sharply as the census approaches κ-optimality, for both
 the BFT (1/3) and Nakamoto / hybrid (1/2) tolerance levels.
+
+The estimator routes through the campaign engine's census-mode seam
+(:func:`repro.faults.engine.run_census_trials`), so this experiment shares
+its backend entry point with the population-matrix campaign sweeps while its
+per-backend RNG streams — and golden snapshots — stay unchanged.
 """
 
 from __future__ import annotations

@@ -12,6 +12,12 @@
 - :mod:`repro.faults.campaign` -- exploit campaigns resolving a vulnerability
   set against a replica population into compromised replicas and power
   (the ``f_t^i`` of Section II-C).
+- :mod:`repro.faults.matrix` -- the array-backed replicas × vulnerabilities
+  exposure matrix campaigns resolve against.
+- :mod:`repro.faults.engine` -- batched randomized campaign trials on the
+  compute-backend seam.
+- :mod:`repro.faults.scenarios` -- parameterized campaign scenario
+  generators (adversary budgets, exploit reliability, churned populations).
 - :mod:`repro.faults.injection` -- fault schedules for the protocol
   simulations (which replica becomes Byzantine/crashed and when).
 """
@@ -24,7 +30,13 @@ from repro.faults.adversary import (
 )
 from repro.faults.campaign import CampaignOutcome, ExploitCampaign
 from repro.faults.catalog import VulnerabilityCatalog
+from repro.faults.engine import (
+    BatchCampaignEngine,
+    CampaignEstimate,
+    run_census_trials,
+)
 from repro.faults.injection import FaultKind, FaultSchedule, FaultSpec
+from repro.faults.matrix import PopulationMatrix
 from repro.faults.recovery import (
     ExposureTimeline,
     PatchRollout,
@@ -35,7 +47,9 @@ from repro.faults.window import PatchState, VulnerabilityWindow
 
 __all__ = [
     "AdversaryBudget",
+    "BatchCampaignEngine",
     "BriberyAdversary",
+    "CampaignEstimate",
     "CampaignOutcome",
     "ExploitAdversary",
     "ExploitCampaign",
@@ -45,10 +59,12 @@ __all__ = [
     "FaultSpec",
     "PatchRollout",
     "PatchState",
+    "PopulationMatrix",
     "ProactiveRecoveryPolicy",
     "RationalOperatorAdversary",
     "Severity",
     "Vulnerability",
     "VulnerabilityCatalog",
     "VulnerabilityWindow",
+    "run_census_trials",
 ]

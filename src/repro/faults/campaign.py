@@ -7,19 +7,29 @@ the total compromised power.  Replicas exposed to several exploited
 vulnerabilities are counted once in the total (a replica cannot be "more than
 Byzantine") but appear in every relevant ``f_t^i`` for reporting, mirroring
 the paper's per-vulnerability accounting.
+
+Fault domains and exposed-power reductions are resolved through an
+array-backed :class:`~repro.faults.matrix.PopulationMatrix` on the compute
+backend; only the per-replica Bernoulli draws of *unreliable* exploits
+(``exploit_probability < 1``) remain scalar, preserving the original
+``random.Random(seed)`` stream byte for byte.  For batches of thousands of
+randomized campaigns use :class:`~repro.faults.engine.BatchCampaignEngine`,
+which vectorizes the draws too.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
+from repro.backend import get_backend
+from repro.backend.selection import BackendLike
 from repro.core.exceptions import FaultModelError
-from repro.core.population import Replica, ReplicaPopulation
+from repro.core.population import ReplicaPopulation
 from repro.core.resilience import ProtocolFamily, ResilienceReport, analyze_resilience
 from repro.faults.catalog import VulnerabilityCatalog
-from repro.faults.vulnerability import Vulnerability
+from repro.faults.matrix import PopulationMatrix
 
 
 @dataclass(frozen=True)
@@ -59,6 +69,25 @@ class CampaignOutcome:
         return self.compromised_fraction >= tolerated_fraction - 1e-12
 
 
+def reject_duplicate_vulnerability_ids(ids: Sequence[str]) -> None:
+    """Usage-error guard shared by the scalar campaign and the batch engine.
+
+    Exploiting the same vulnerability twice in one campaign would
+    double-count exploit attempts against its replicas — with real
+    vulnerability data that is always a typo, never an intent.
+    """
+    seen: set = set()
+    duplicates: set = set()
+    for vuln_id in ids:
+        if vuln_id in seen:
+            duplicates.add(vuln_id)
+        seen.add(vuln_id)
+    if duplicates:
+        raise FaultModelError(
+            f"duplicate vulnerability ids in campaign: {', '.join(sorted(duplicates))}"
+        )
+
+
 class ExploitCampaign:
     """Executes exploit campaigns against a replica population.
 
@@ -66,6 +95,12 @@ class ExploitCampaign:
     makes every exposed replica Byzantine with the vulnerability's
     ``exploit_probability`` (independently per replica).  With the default
     probability of 1.0 the campaign is deterministic.
+
+    The population × catalog pair is snapshotted into a
+    :class:`~repro.faults.matrix.PopulationMatrix` the first time a campaign
+    runs; later mutations of the population (join/leave, power updates) or
+    catalog are not reflected.  Build a fresh campaign (or pass a fresh
+    ``matrix``) after mutating, exactly as you would re-take a census.
     """
 
     def __init__(
@@ -74,10 +109,17 @@ class ExploitCampaign:
         catalog: VulnerabilityCatalog,
         *,
         seed: int = 0,
+        backend: BackendLike = None,
+        matrix: Optional[PopulationMatrix] = None,
     ) -> None:
         self._population = population
         self._catalog = catalog
         self._rng = random.Random(seed)
+        self._backend = backend
+        # The matrix is built lazily (campaigns constructed for their
+        # resilience_report helper never pay for it) and may be shared
+        # across campaigns over the same population × catalog pair.
+        self._matrix = matrix
 
     @property
     def population(self) -> ReplicaPopulation:
@@ -86,6 +128,13 @@ class ExploitCampaign:
     @property
     def catalog(self) -> VulnerabilityCatalog:
         return self._catalog
+
+    @property
+    def matrix(self) -> PopulationMatrix:
+        """The array-backed snapshot campaigns resolve against (lazy)."""
+        if self._matrix is None:
+            self._matrix = PopulationMatrix.build(self._population, self._catalog)
+        return self._matrix
 
     # -- core -------------------------------------------------------------------
 
@@ -99,34 +148,54 @@ class ExploitCampaign:
 
         Args:
             vulnerability_ids: ids of catalog vulnerabilities to exploit.
+                Listing the same vulnerability twice is a usage error — it
+                would double-count exploit attempts against its replicas.
             time: optional simulation time; vulnerabilities not yet disclosed
                 at ``time`` are skipped (they cannot be exploited).
         """
         if not vulnerability_ids:
             raise FaultModelError("a campaign needs at least one vulnerability")
+        ids = list(vulnerability_ids)
+        reject_duplicate_vulnerability_ids(ids)
+        matrix = self.matrix
+        backend = get_backend(self._backend)
+        exposed_power = matrix.exposed_power(backend=backend)
+        powers = matrix.powers
         exploited: list[str] = []
-        compromised: set[str] = set()
+        compromised_rows: set[int] = set()
         per_vulnerability: Dict[str, float] = {}
-        for vuln_id in vulnerability_ids:
+        for vuln_id in ids:
             vulnerability = self._catalog.get(vuln_id)
             if time is not None and not vulnerability.is_exploitable_at(time):
                 per_vulnerability[vuln_id] = 0.0
                 continue
             exploited.append(vuln_id)
-            power = 0.0
-            for replica in self._exposed_replicas(vulnerability):
-                if self._exploit_succeeds(vulnerability):
-                    compromised.add(replica.replica_id)
-                    power += replica.power
-            per_vulnerability[vuln_id] = power
-        total_compromised = sum(
-            self._population.power_of(replica_id) for replica_id in compromised
-        )
+            rows = matrix.exposed_row_indices(vuln_id)
+            if vulnerability.exploit_probability >= 1.0:
+                # Reliable exploit: the whole fault domain turns Byzantine
+                # and f_t^i is the precomputed masked reduction.
+                compromised_rows.update(rows)
+                per_vulnerability[vuln_id] = exposed_power[vuln_id]
+            else:
+                # Flaky exploit: one Bernoulli draw per exposed replica, in
+                # join order — the exact RNG stream of the scalar model.
+                probability = vulnerability.exploit_probability
+                power = 0.0
+                for row in rows:
+                    if self._rng.random() < probability:
+                        compromised_rows.add(row)
+                        power += powers[row]
+                per_vulnerability[vuln_id] = power
+        total_compromised = 0.0
+        for row in sorted(compromised_rows):
+            total_compromised += powers[row]
         return CampaignOutcome(
             exploited=tuple(exploited),
-            compromised_replicas=frozenset(compromised),
+            compromised_replicas=frozenset(
+                matrix.replica_ids[row] for row in compromised_rows
+            ),
             compromised_power=total_compromised,
-            total_power=self._population.total_power(),
+            total_power=matrix.total_power,
             power_per_vulnerability=tuple(sorted(per_vulnerability.items())),
         )
 
@@ -138,21 +207,20 @@ class ExploitCampaign:
     ) -> CampaignOutcome:
         """Exploit the ``max_vulnerabilities`` most damaging vulnerabilities.
 
-        The attacker greedily picks vulnerabilities by exposed power, which is
-        optimal when fault domains are disjoint and a good (and conventional)
-        heuristic otherwise.
+        The attacker greedily picks vulnerabilities by exposed power (one
+        masked matrix–vector reduction), which is optimal when fault domains
+        are disjoint and a good (and conventional) heuristic otherwise.
         """
         if max_vulnerabilities <= 0:
             raise FaultModelError(
                 f"max vulnerabilities must be positive, got {max_vulnerabilities}"
             )
-        ranked = self._catalog.most_damaging(
-            self._population, count=max_vulnerabilities, time=time
-        )
-        ids = [vulnerability.vuln_id for vulnerability, _ in ranked]
-        if not ids:
+        if len(self._catalog) == 0:
             raise FaultModelError("the catalog is empty; nothing to exploit")
-        return self.run(ids, time=time)
+        ranked = self.matrix.most_damaging(
+            max_vulnerabilities, backend=self._backend, time=time
+        )
+        return self.run([vuln_id for vuln_id, _ in ranked], time=time)
 
     def resilience_report(
         self,
@@ -173,17 +241,6 @@ class ExploitCampaign:
             lambda replica: replica.replica_id in outcome.compromised_replicas
         )
 
-    # -- internals -----------------------------------------------------------------
-
-    def _exposed_replicas(self, vulnerability: Vulnerability) -> Iterable[Replica]:
-        return self._population.replicas_using_component(vulnerability.component)
-
-    def _exploit_succeeds(self, vulnerability: Vulnerability) -> bool:
-        if vulnerability.exploit_probability >= 1.0:
-            return True
-        return self._rng.random() < vulnerability.exploit_probability
-
-
 def single_vulnerability_breakdown(
     population: ReplicaPopulation,
     catalog: VulnerabilityCatalog,
@@ -195,10 +252,15 @@ def single_vulnerability_breakdown(
     Returns a mapping vulnerability id -> "safety violated".  This is the
     clearest expression of the paper's core warning: a *single* shared fault
     can exceed ``f`` when diversity is low.
+
+    The population × catalog matrix is built once and shared by every
+    single-vulnerability campaign (each still gets its own fresh RNG, as the
+    scalar implementation did).
     """
+    matrix = PopulationMatrix.build(population, catalog)
     results: Dict[str, bool] = {}
     for vulnerability in catalog:
-        campaign = ExploitCampaign(population, catalog)
+        campaign = ExploitCampaign(population, catalog, matrix=matrix)
         outcome = campaign.run([vulnerability.vuln_id])
         report = campaign.resilience_report(outcome, family=family)
         results[vulnerability.vuln_id] = not report.safe

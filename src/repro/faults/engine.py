@@ -1,0 +1,249 @@
+"""Batched exploit-campaign trials on the compute-backend seam.
+
+The scalar :class:`~repro.faults.campaign.ExploitCampaign` resolves *one*
+campaign at a time with per-replica Python loops.  The
+:class:`BatchCampaignEngine` runs **thousands** of randomized campaigns as a
+single backend kernel call (:meth:`ComputeBackend.campaign_trials`): every
+trial independently re-samples which exploit attempts succeed, and the kernel
+reduces the whole batch to violation counts, mean compromised fractions and
+mean per-vulnerability compromised power (``f_t^i``) with masked
+matrix–vector arithmetic.
+
+Because the kernels draw from a counter-based RNG stream
+(:func:`repro.backend.base.campaign_uniform`), the NumPy and pure-Python
+backends produce **identical** estimates for the same seed — campaign
+experiments are therefore not backend-sensitive, unlike the census-mode
+Monte-Carlo estimator whose per-backend RNG streams predate this engine.
+
+The engine also hosts the census-mode seam (:func:`run_census_trials`) the
+violation-probability estimator of :mod:`repro.analysis.monte_carlo` now
+routes through, so every batched trial workload in the repository enters the
+backends from one module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backend import get_backend
+from repro.backend.base import TrialBatchResult
+from repro.backend.selection import BackendLike
+from repro.core.distribution import ConfigurationDistribution
+from repro.core.exceptions import FaultModelError
+from repro.core.population import ReplicaPopulation
+from repro.core.resilience import ProtocolFamily, tolerated_fault_fraction
+from repro.faults.campaign import reject_duplicate_vulnerability_ids
+from repro.faults.catalog import VulnerabilityCatalog
+from repro.faults.matrix import PopulationMatrix
+
+
+@dataclass(frozen=True)
+class CampaignEstimate:
+    """Aggregate result of a batch of randomized exploit campaigns.
+
+    Attributes:
+        exploited: vulnerability ids actually exploited (disclosure-gated).
+        trials: number of campaign trials sampled.
+        violations: trials whose compromised fraction reached the tolerance.
+        violation_probability: ``violations / trials``.
+        mean_compromised_fraction: mean compromised power fraction per trial.
+        tolerated_fraction: the tolerance the verdicts used.
+        total_power: the population's total voting power ``n_t``.
+        mean_power_per_vulnerability: mean ``f_t^i`` per exploited
+            vulnerability (id, power) in id order; disclosure-gated
+            vulnerabilities appear with 0.0, mirroring
+            ``CampaignOutcome.power_per_vulnerability``.
+    """
+
+    exploited: Tuple[str, ...]
+    trials: int
+    violations: int
+    violation_probability: float
+    mean_compromised_fraction: float
+    tolerated_fraction: float
+    total_power: float
+    mean_power_per_vulnerability: Tuple[Tuple[str, float], ...]
+
+
+class BatchCampaignEngine:
+    """Runs batches of randomized exploit campaigns over a population matrix."""
+
+    def __init__(
+        self,
+        population: ReplicaPopulation,
+        catalog: VulnerabilityCatalog,
+        *,
+        backend: BackendLike = None,
+        matrix: Optional[PopulationMatrix] = None,
+    ) -> None:
+        self._population = population
+        self._catalog = catalog
+        self._backend = backend
+        self._matrix = matrix if matrix is not None else PopulationMatrix.build(
+            population, catalog
+        )
+
+    @property
+    def matrix(self) -> PopulationMatrix:
+        return self._matrix
+
+    @property
+    def population(self) -> ReplicaPopulation:
+        return self._population
+
+    @property
+    def catalog(self) -> VulnerabilityCatalog:
+        return self._catalog
+
+    # -- batched estimation --------------------------------------------------------
+
+    def estimate(
+        self,
+        vulnerability_ids: Optional[Sequence[str]] = None,
+        *,
+        trials: int,
+        seed: int = 0,
+        family: ProtocolFamily = ProtocolFamily.BFT,
+        tolerated_fraction: Optional[float] = None,
+        time: Optional[float] = None,
+    ) -> CampaignEstimate:
+        """Sample ``trials`` randomized campaigns over the given vulnerabilities.
+
+        Args:
+            vulnerability_ids: catalog ids to exploit in every trial
+                (defaults to the whole catalog).  Duplicates are a usage
+                error — they would double-count exploit attempts.
+            trials: number of campaigns to sample (positive).
+            seed: counter-based RNG seed; identical across backends.
+            family: protocol family providing the tolerance.
+            tolerated_fraction: explicit tolerance override.
+            time: optional simulation time; vulnerabilities not yet disclosed
+                at ``time`` are skipped (reported with mean ``f_t^i`` 0.0).
+        """
+        if trials <= 0:
+            raise FaultModelError(f"trial count must be positive, got {trials}")
+        if vulnerability_ids is None:
+            vulnerability_ids = self._matrix.vulnerability_ids
+        ids = list(vulnerability_ids)
+        if not ids:
+            raise FaultModelError(
+                "a campaign needs at least one vulnerability"
+                if len(self._catalog)
+                else "the catalog is empty; nothing to exploit"
+            )
+        reject_duplicate_vulnerability_ids(ids)
+        tolerance = (
+            tolerated_fraction
+            if tolerated_fraction is not None
+            else tolerated_fault_fraction(family)
+        )
+        if not 0.0 < tolerance <= 1.0:
+            raise FaultModelError(
+                f"tolerated fraction must be in (0, 1], got {tolerance}"
+            )
+        exploited = [
+            vuln_id
+            for vuln_id in ids
+            if self._matrix.is_exploitable_at(vuln_id, time)
+        ]
+        per_vulnerability: Dict[str, float] = {vuln_id: 0.0 for vuln_id in ids}
+        violations = 0
+        compromised_total = 0.0
+        if exploited:
+            resolved = get_backend(self._backend)
+            if tuple(exploited) == self._matrix.vulnerability_ids:
+                # Full-catalog campaigns reuse the matrix's per-backend cache.
+                exposure_array = self._matrix.exposure_array(resolved)
+                probabilities = self._matrix.success_probabilities
+            else:
+                exposure_rows, probabilities = self._matrix.columns_for(exploited)
+                exposure_array = resolved.asarray_matrix(exposure_rows)
+            batch = resolved.campaign_trials(
+                exposure_array,
+                self._matrix.powers_array(resolved),
+                probabilities,
+                trials=trials,
+                seed=seed,
+                tolerance=tolerance,
+                total_power=self._matrix.total_power,
+            )
+            violations = batch.violations
+            compromised_total = batch.compromised_total
+            for vuln_id, total in zip(exploited, batch.per_vulnerability_totals):
+                per_vulnerability[vuln_id] = total / trials
+        return CampaignEstimate(
+            exploited=tuple(exploited),
+            trials=trials,
+            violations=violations,
+            violation_probability=violations / trials,
+            mean_compromised_fraction=compromised_total
+            / (trials * self._matrix.total_power),
+            tolerated_fraction=tolerance,
+            total_power=self._matrix.total_power,
+            mean_power_per_vulnerability=tuple(sorted(per_vulnerability.items())),
+        )
+
+    def estimate_worst_case(
+        self,
+        *,
+        max_vulnerabilities: int = 1,
+        trials: int,
+        seed: int = 0,
+        family: ProtocolFamily = ProtocolFamily.BFT,
+        tolerated_fraction: Optional[float] = None,
+        time: Optional[float] = None,
+    ) -> CampaignEstimate:
+        """Batched trials against the ``max_vulnerabilities`` biggest exposures.
+
+        Target selection matches ``ExploitCampaign.run_worst_case`` (greedy
+        by exposed power, id tie-break); only the per-trial exploit outcomes
+        are randomized.
+        """
+        if max_vulnerabilities <= 0:
+            raise FaultModelError(
+                f"max vulnerabilities must be positive, got {max_vulnerabilities}"
+            )
+        if len(self._catalog) == 0:
+            raise FaultModelError("the catalog is empty; nothing to exploit")
+        ranked = self._matrix.most_damaging(
+            max_vulnerabilities, backend=self._backend, time=time
+        )
+        return self.estimate(
+            [vuln_id for vuln_id, _ in ranked],
+            trials=trials,
+            seed=seed,
+            family=family,
+            tolerated_fraction=tolerated_fraction,
+            time=time,
+        )
+
+
+def run_census_trials(
+    census: ConfigurationDistribution,
+    *,
+    vulnerability_probability: float,
+    exploit_budget: int,
+    trials: int,
+    seed: int,
+    tolerance: float,
+    backend: BackendLike = None,
+) -> TrialBatchResult:
+    """Census-mode batched trials (the PR-1 Monte-Carlo kernel).
+
+    Treats every configuration as one independent fault domain and exploits
+    the ``exploit_budget`` largest vulnerable shares per trial — the
+    estimator :mod:`repro.analysis.monte_carlo` wraps.  Kept here so all
+    batched trial workloads enter the backends through the campaign engine;
+    the per-backend RNG streams (and therefore every golden snapshot) are
+    unchanged.
+    """
+    resolved = get_backend(backend)
+    return resolved.violation_trials(
+        census.sorted_probabilities_array(resolved),
+        vulnerability_probability=vulnerability_probability,
+        exploit_budget=exploit_budget,
+        trials=trials,
+        seed=seed,
+        tolerance=tolerance,
+    )

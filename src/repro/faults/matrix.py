@@ -1,0 +1,298 @@
+"""Array-backed view of a population's fault domains.
+
+A :class:`PopulationMatrix` freezes one ``ReplicaPopulation`` +
+``VulnerabilityCatalog`` pair into the dense structures the campaign kernels
+consume: a replicas × vulnerabilities exposure matrix (rows in join order,
+columns in catalog insertion order), the per-replica power vector, and the
+per-vulnerability exploit-success probabilities and disclosure times.  It is
+built once per (population, catalog) pair and handed to every campaign — the
+scalar per-replica scans of the original fault model become masked
+matrix–vector reductions on the compute backend
+(:meth:`~repro.backend.base.ComputeBackend.masked_power_sums`,
+:meth:`~repro.backend.base.ComputeBackend.campaign_trials`).
+
+The matrix is a *snapshot*: later mutations of the population (join/leave,
+power updates) or catalog (``add``) are not reflected.  Rebuild after
+mutating, exactly as you would re-take a census.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.backend import get_backend
+from repro.backend.selection import BackendLike
+from repro.core.exceptions import FaultModelError
+from repro.core.population import ReplicaPopulation
+from repro.faults.catalog import VulnerabilityCatalog
+
+
+class PopulationMatrix:
+    """Dense exposure matrix plus power/probability vectors for campaigns."""
+
+    def __init__(
+        self,
+        replica_ids: Sequence[str],
+        powers: Sequence[float],
+        vulnerability_ids: Sequence[str],
+        success_probabilities: Sequence[float],
+        disclosed_at: Sequence[float],
+        exposure: Sequence[Sequence[float]],
+    ) -> None:
+        self._replica_ids: Tuple[str, ...] = tuple(replica_ids)
+        self._powers: Tuple[float, ...] = tuple(float(p) for p in powers)
+        self._vulnerability_ids: Tuple[str, ...] = tuple(vulnerability_ids)
+        self._success_probabilities: Tuple[float, ...] = tuple(
+            float(p) for p in success_probabilities
+        )
+        self._disclosed_at: Tuple[float, ...] = tuple(float(t) for t in disclosed_at)
+        self._exposure: Tuple[Tuple[float, ...], ...] = tuple(
+            tuple(1.0 if cell else 0.0 for cell in row) for row in exposure
+        )
+        self._validate()
+        self._replica_index: Dict[str, int] = {
+            replica_id: index for index, replica_id in enumerate(self._replica_ids)
+        }
+        self._vulnerability_index: Dict[str, int] = {
+            vuln_id: index for index, vuln_id in enumerate(self._vulnerability_ids)
+        }
+        # Total power summed sequentially in join order, matching
+        # ReplicaPopulation.total_power so outcomes are byte-compatible.
+        total = 0.0
+        for power in self._powers:
+            total += power
+        self._total_power = total
+        self._exposed_rows: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(
+                row
+                for row in range(len(self._replica_ids))
+                if self._exposure[row][column]
+            )
+            for column in range(len(self._vulnerability_ids))
+        )
+        # Per-backend caches of the kernel-ready arrays and of the full
+        # exposed-power reduction (keyed by backend name; backends are
+        # process-wide singletons so the name identifies the instance).
+        self._array_cache: Dict[Tuple[str, str], object] = {}
+        self._exposed_power_cache: Dict[str, Tuple[float, ...]] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        population: ReplicaPopulation,
+        catalog: VulnerabilityCatalog,
+    ) -> "PopulationMatrix":
+        """Snapshot ``population`` × ``catalog`` into a dense matrix.
+
+        Exposure cell ``(r, v)`` is 1 exactly when replica ``r``'s
+        configuration contains vulnerability ``v``'s component — the same
+        fault-domain query ``ReplicaPopulation.replicas_using_component``
+        answers, resolved once for every pair.
+        """
+        replicas = population.replicas()
+        vulnerabilities = catalog.all()
+        if not replicas:
+            raise FaultModelError("cannot build a matrix for an empty population")
+        return cls(
+            replica_ids=[replica.replica_id for replica in replicas],
+            powers=[replica.power for replica in replicas],
+            vulnerability_ids=[v.vuln_id for v in vulnerabilities],
+            success_probabilities=[v.exploit_probability for v in vulnerabilities],
+            disclosed_at=[v.disclosed_at for v in vulnerabilities],
+            exposure=[
+                [
+                    1.0 if replica.configuration.has_component(v.component) else 0.0
+                    for v in vulnerabilities
+                ]
+                for replica in replicas
+            ],
+        )
+
+    def _validate(self) -> None:
+        if len(self._powers) != len(self._replica_ids):
+            raise FaultModelError(
+                f"{len(self._powers)} powers for {len(self._replica_ids)} replicas"
+            )
+        if len(self._success_probabilities) != len(self._vulnerability_ids) or len(
+            self._disclosed_at
+        ) != len(self._vulnerability_ids):
+            raise FaultModelError(
+                "per-vulnerability vectors must match the vulnerability ids"
+            )
+        if len(self._exposure) != len(self._replica_ids):
+            raise FaultModelError(
+                f"exposure has {len(self._exposure)} rows for "
+                f"{len(self._replica_ids)} replicas"
+            )
+        for row in self._exposure:
+            if len(row) != len(self._vulnerability_ids):
+                raise FaultModelError(
+                    f"exposure row has {len(row)} columns for "
+                    f"{len(self._vulnerability_ids)} vulnerabilities"
+                )
+        # Population and catalog already reject duplicate ids at join/add
+        # time; re-checking here keeps hand-built matrices honest too.
+        if len(set(self._replica_ids)) != len(self._replica_ids):
+            raise FaultModelError("duplicate replica ids in population matrix")
+        if len(set(self._vulnerability_ids)) != len(self._vulnerability_ids):
+            raise FaultModelError("duplicate vulnerability ids in population matrix")
+        if any(power < 0 for power in self._powers):
+            raise FaultModelError("replica powers must be non-negative")
+
+    # -- shape and lookups ---------------------------------------------------------
+
+    @property
+    def replica_ids(self) -> Tuple[str, ...]:
+        return self._replica_ids
+
+    @property
+    def vulnerability_ids(self) -> Tuple[str, ...]:
+        return self._vulnerability_ids
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._replica_ids)
+
+    @property
+    def vulnerability_count(self) -> int:
+        return len(self._vulnerability_ids)
+
+    @property
+    def powers(self) -> Tuple[float, ...]:
+        return self._powers
+
+    @property
+    def success_probabilities(self) -> Tuple[float, ...]:
+        return self._success_probabilities
+
+    @property
+    def total_power(self) -> float:
+        """``n_t`` — total voting power of the snapshot."""
+        return self._total_power
+
+    def replica_index(self, replica_id: str) -> int:
+        try:
+            return self._replica_index[replica_id]
+        except KeyError:
+            raise FaultModelError(f"unknown replica {replica_id!r}") from None
+
+    def vulnerability_index(self, vuln_id: str) -> int:
+        try:
+            return self._vulnerability_index[vuln_id]
+        except KeyError:
+            raise FaultModelError(f"unknown vulnerability {vuln_id!r}") from None
+
+    def exposed_row_indices(self, vuln_id: str) -> Tuple[int, ...]:
+        """Row indices (join order) of the replicas exposed to ``vuln_id``."""
+        return self._exposed_rows[self.vulnerability_index(vuln_id)]
+
+    def exposure_rows(self) -> Tuple[Tuple[float, ...], ...]:
+        """The raw 0/1 exposure matrix as nested tuples (row-major)."""
+        return self._exposure
+
+    def is_exploitable_at(self, vuln_id: str, time: Optional[float]) -> bool:
+        """Disclosure gate: ``time is None`` means "already disclosed"."""
+        if time is None:
+            return True
+        return time >= self._disclosed_at[self.vulnerability_index(vuln_id)]
+
+    # -- backend arrays ------------------------------------------------------------
+
+    def exposure_array(self, backend: BackendLike = None):
+        """The exposure matrix in the backend's native representation (cached)."""
+        resolved = get_backend(backend)
+        key = ("exposure", resolved.name)
+        cached = self._array_cache.get(key)
+        if cached is None:
+            cached = resolved.asarray_matrix(self._exposure)
+            self._array_cache[key] = cached
+        return cached
+
+    def powers_array(self, backend: BackendLike = None):
+        """The power vector in the backend's native representation (cached)."""
+        resolved = get_backend(backend)
+        key = ("powers", resolved.name)
+        cached = self._array_cache.get(key)
+        if cached is None:
+            cached = resolved.asarray(self._powers)
+            self._array_cache[key] = cached
+        return cached
+
+    # -- reductions ---------------------------------------------------------------
+
+    def exposed_power(
+        self,
+        *,
+        backend: BackendLike = None,
+        time: Optional[float] = None,
+    ) -> Dict[str, float]:
+        """Voting power exposed to each vulnerability (``f_t^i`` upper bounds).
+
+        One masked matrix–vector reduction on the compute backend replaces
+        the per-vulnerability population scans of
+        ``VulnerabilityCatalog.exposure``; when ``time`` is given,
+        vulnerabilities not yet disclosed report 0 (they cannot be
+        exploited), matching the catalog semantics.
+        """
+        resolved = get_backend(backend)
+        sums = self._exposed_power_cache.get(resolved.name)
+        if sums is None:
+            sums = tuple(
+                resolved.masked_power_sums(
+                    self.exposure_array(resolved), self.powers_array(resolved)
+                )
+            )
+            self._exposed_power_cache[resolved.name] = sums
+        return {
+            vuln_id: (
+                0.0
+                if time is not None and time < self._disclosed_at[index]
+                else sums[index]
+            )
+            for index, vuln_id in enumerate(self._vulnerability_ids)
+        }
+
+    def most_damaging(
+        self,
+        count: int,
+        *,
+        backend: BackendLike = None,
+        time: Optional[float] = None,
+    ) -> Tuple[Tuple[str, float], ...]:
+        """The ``count`` vulnerabilities exposing the most voting power.
+
+        Ranking (descending exposure, id as tie-break) matches
+        ``VulnerabilityCatalog.most_damaging`` so the refactored worst-case
+        campaign picks the same targets as the scalar implementation.
+        """
+        if count < 0:
+            raise FaultModelError(f"count must be non-negative, got {count}")
+        exposure = self.exposed_power(backend=backend, time=time)
+        ranked = sorted(exposure.items(), key=lambda item: (-item[1], item[0]))
+        return tuple(ranked[:count])
+
+    def columns_for(
+        self, vulnerability_ids: Sequence[str]
+    ) -> Tuple[Tuple[Tuple[float, ...], ...], Tuple[float, ...]]:
+        """Column-sliced ``(exposure rows, success probabilities)`` for a selection.
+
+        Used by the campaign engine to hand the kernels exactly the exploited
+        columns, in selection order.
+        """
+        columns = [self.vulnerability_index(vuln_id) for vuln_id in vulnerability_ids]
+        rows = tuple(
+            tuple(row[column] for column in columns) for row in self._exposure
+        )
+        probabilities = tuple(self._success_probabilities[column] for column in columns)
+        return rows, probabilities
+
+    # -- dunder -------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"PopulationMatrix(replicas={self.replica_count}, "
+            f"vulnerabilities={self.vulnerability_count}, "
+            f"total_power={self._total_power:.6g})"
+        )

@@ -1,0 +1,207 @@
+"""Parameterized campaign scenario generators.
+
+A *scenario* bundles the two inputs every exploit campaign needs — a replica
+population and a vulnerability catalog — generated from a handful of
+JSON-scalar knobs: which synthetic ecosystem the replicas sample their
+configurations from, how many replicas there are, how reliable the
+adversary's exploits are, and (for permissionless settings) how much
+join/leave churn the population has absorbed.
+
+Keeping the generators here, below the experiment layer, lets the campaign
+experiments stay thin ``params -> tables`` adapters over
+:class:`~repro.faults.engine.BatchCampaignEngine`: a new sweep is "pick a
+generator, pick the knobs, register a spec", and the orchestrator provides
+caching, sharding, golden pinning and HTTP serving for free.
+
+All generated replicas carry power 1.0 (the replica-count regime), so every
+power reduction is exact in float64 and the campaign kernels stay
+bit-identical across compute backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.exceptions import FaultModelError
+from repro.core.population import ReplicaPopulation
+from repro.datasets.software_ecosystem import (
+    SyntheticEcosystem,
+    default_ecosystem,
+    diverse_ecosystem,
+    skewed_ecosystem,
+)
+from repro.faults.catalog import VulnerabilityCatalog
+from repro.faults.vulnerability import Severity
+from repro.permissionless.churn import ChurnModel
+
+#: Named ecosystems a scenario can sample replica configurations from.
+ECOSYSTEM_GENERATORS = {
+    "default": default_ecosystem,
+    "skewed": skewed_ecosystem,
+    "diverse": diverse_ecosystem,
+}
+
+
+def resolve_ecosystem(name: str) -> SyntheticEcosystem:
+    """Look an ecosystem generator up by name (usage error when unknown)."""
+    try:
+        generator = ECOSYSTEM_GENERATORS[name]
+    except KeyError:
+        known = ", ".join(sorted(ECOSYSTEM_GENERATORS))
+        raise FaultModelError(
+            f"unknown ecosystem {name!r} (known: {known})"
+        ) from None
+    return generator()
+
+
+@dataclass(frozen=True)
+class CampaignScenario:
+    """One concrete population × catalog pair a campaign sweep runs against.
+
+    Attributes:
+        label: human-readable description for tables and reports.
+        population: the replica population (power 1.0 per replica).
+        catalog: one vulnerability per distinct component in the population,
+            at the scenario's exploit-success probability.
+    """
+
+    label: str
+    population: ReplicaPopulation
+    catalog: VulnerabilityCatalog
+
+
+def ecosystem_scenario(
+    *,
+    ecosystem: str = "skewed",
+    population_size: int = 48,
+    seed: int = 0,
+    exploit_probability: float = 1.0,
+    severity: Severity = Severity.HIGH,
+    label: str = None,
+) -> CampaignScenario:
+    """Sample a population from a named ecosystem and catalog its components.
+
+    The catalog takes the worst-case stance of the experiments: every
+    distinct component in the sampled population could harbor one exploitable
+    flaw, succeeding per exposed replica with ``exploit_probability``.
+    """
+    if population_size <= 0:
+        raise FaultModelError(
+            f"population size must be positive, got {population_size}"
+        )
+    if not 0.0 <= exploit_probability <= 1.0:
+        raise FaultModelError(
+            f"exploit probability must be in [0, 1], got {exploit_probability}"
+        )
+    population = resolve_ecosystem(ecosystem).sample_population(
+        population_size, seed=seed
+    )
+    catalog = VulnerabilityCatalog.for_population(
+        population, severity=severity, exploit_probability=exploit_probability
+    )
+    return CampaignScenario(
+        label=label
+        or f"{ecosystem} ecosystem, {population_size} replicas, "
+        f"p_exploit={exploit_probability:g}",
+        population=population,
+        catalog=catalog,
+    )
+
+
+def churned_scenarios(
+    *,
+    ecosystem: str = "default",
+    population_size: int = 40,
+    steps: int = 120,
+    checkpoints: int = 4,
+    join_rate: float = 0.6,
+    leave_rate: float = 0.35,
+    churn_seed: int = 5,
+    population_seed: int = 0,
+    exploit_probability: float = 1.0,
+    severity: Severity = Severity.HIGH,
+) -> List[Tuple[int, CampaignScenario]]:
+    """A churn trajectory: scenario snapshots at evenly spaced churn steps.
+
+    Starting from an ecosystem-sampled population, one continuous
+    :class:`~repro.permissionless.churn.ChurnModel` run is split into
+    ``checkpoints`` equal segments; after each segment (and at step 0) the
+    population is snapshotted and re-cataloged, so a campaign sweep can chart
+    how the violation probability drifts as the census drifts (Challenge 1:
+    diversity in a permissionless system is a moving target).
+
+    Returns ``(step, scenario)`` pairs, step 0 first.
+    """
+    if steps <= 0:
+        raise FaultModelError(f"churn steps must be positive, got {steps}")
+    if checkpoints <= 0 or checkpoints > steps:
+        raise FaultModelError(
+            f"checkpoints must be in 1..steps, got {checkpoints} for {steps} steps"
+        )
+    ecosystem_instance = resolve_ecosystem(ecosystem)
+    population = ecosystem_instance.sample_population(
+        population_size, seed=population_seed
+    )
+    model = ChurnModel(
+        ecosystem_instance,
+        join_rate=join_rate,
+        leave_rate=leave_rate,
+        seed=churn_seed,
+    )
+
+    def snapshot(step: int) -> Tuple[int, CampaignScenario]:
+        frozen = ReplicaPopulation(population.replicas(), regime=population.regime)
+        catalog = VulnerabilityCatalog.for_population(
+            frozen, severity=severity, exploit_probability=exploit_probability
+        )
+        return (
+            step,
+            CampaignScenario(
+                label=f"{ecosystem} ecosystem after {step} churn steps "
+                f"({len(frozen)} replicas)",
+                population=frozen,
+                catalog=catalog,
+            ),
+        )
+
+    trajectory = [snapshot(0)]
+    completed = 0
+    for index in range(checkpoints):
+        # Spread the steps evenly; the churn RNG stream is continuous across
+        # segments, so the trajectory equals one uninterrupted run.
+        target = round((index + 1) * steps / checkpoints)
+        segment = target - completed
+        if segment > 0:
+            model.run(population, segment)
+            completed = target
+        trajectory.append(snapshot(completed))
+    return trajectory
+
+
+def reliability_scenarios(
+    probabilities: Tuple[float, ...],
+    *,
+    ecosystem: str = "skewed",
+    population_size: int = 48,
+    seed: int = 0,
+    severity: Severity = Severity.HIGH,
+) -> Dict[float, CampaignScenario]:
+    """One scenario per exploit-success probability, over a fixed population.
+
+    The population is sampled once (same ecosystem, same seed) and only the
+    catalog's exploit reliability varies, isolating the effect of flaky vs
+    reliable zero-days on the violation probability.
+    """
+    if not probabilities:
+        raise FaultModelError("at least one exploit probability is required")
+    return {
+        probability: ecosystem_scenario(
+            ecosystem=ecosystem,
+            population_size=population_size,
+            seed=seed,
+            exploit_probability=probability,
+            severity=severity,
+        )
+        for probability in probabilities
+    }

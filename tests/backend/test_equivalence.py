@@ -222,6 +222,107 @@ class TestWeightedBincount:
             assert python[key] == pytest.approx(numpy[key], rel=1e-12)
 
 
+class TestCampaignKernel:
+    """The campaign kernels share a counter-based RNG: bit-identical results."""
+
+    EXPOSURE = [
+        [1.0, 0.0, 1.0],
+        [1.0, 1.0, 0.0],
+        [0.0, 1.0, 1.0],
+        [1.0, 1.0, 1.0],
+        [0.0, 0.0, 1.0],
+    ]
+    POWERS = [1.0, 2.0, 1.0, 4.0, 0.5]
+    TOTAL = 8.5
+
+    def _run(self, backend, probabilities, *, trials=400, seed=31):
+        kernel = get_backend(backend)
+        return kernel.campaign_trials(
+            kernel.asarray_matrix(self.EXPOSURE),
+            kernel.asarray(self.POWERS),
+            probabilities,
+            trials=trials,
+            seed=seed,
+            tolerance=1 / 3,
+            total_power=self.TOTAL,
+        )
+
+    @needs_numpy
+    @pytest.mark.parametrize("probabilities", [
+        [1.0, 1.0, 1.0],
+        [0.5, 0.25, 0.75],
+        [0.0, 1.0, 0.3],
+    ])
+    def test_backends_are_bit_identical(self, probabilities):
+        assert self._run("python", probabilities) == self._run("numpy", probabilities)
+
+    @needs_numpy
+    def test_chunked_numpy_batches_match_the_scalar_loop(self):
+        # Enough trials to force several NumPy chunks with a tiny chunk size.
+        from repro.backend import numpy_backend
+
+        original = numpy_backend._CHUNK_CELLS
+        numpy_backend._CHUNK_CELLS = 45  # 3 trials of 5x3 cells per chunk
+        try:
+            batched = self._run("numpy", [0.6, 0.4, 0.9], trials=100)
+        finally:
+            numpy_backend._CHUNK_CELLS = original
+        assert batched == self._run("python", [0.6, 0.4, 0.9], trials=100)
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_reliable_exploits_compromise_every_exposed_replica(self, backend):
+        result = self._run(backend, [1.0, 1.0, 1.0], trials=10)
+        # All replicas exposed to something: 8.5 power per trial.
+        assert result.compromised_total == pytest.approx(85.0)
+        assert result.violations == 10
+        assert result.per_vulnerability_totals == pytest.approx((70.0, 70.0, 65.0))
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_zero_probability_never_compromises(self, backend):
+        result = self._run(backend, [0.0, 0.0, 0.0], trials=10)
+        assert result.violations == 0
+        assert result.compromised_total == 0.0
+        assert result.per_vulnerability_totals == (0.0, 0.0, 0.0)
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_masked_power_sums(self, backend):
+        kernel = get_backend(backend)
+        sums = kernel.masked_power_sums(
+            kernel.asarray_matrix(self.EXPOSURE), kernel.asarray(self.POWERS)
+        )
+        assert sums == pytest.approx((7.0, 7.0, 6.5))
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_masked_power_sums_rejects_shape_mismatch(self, backend):
+        kernel = get_backend(backend)
+        with pytest.raises(BackendError):
+            kernel.masked_power_sums([[1.0], [1.0]], [5.0])
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_campaign_validation(self, backend):
+        kernel = get_backend(backend)
+        with pytest.raises(BackendError):
+            kernel.campaign_trials(
+                [], [], [1.0], trials=10, seed=0, tolerance=0.5, total_power=1.0
+            )
+        with pytest.raises(BackendError):
+            kernel.campaign_trials(
+                [[1.0]], [1.0], [1.5], trials=10, seed=0, tolerance=0.5, total_power=1.0
+            )
+        with pytest.raises(BackendError):
+            kernel.campaign_trials(
+                [[1.0]], [1.0], [0.5], trials=0, seed=0, tolerance=0.5, total_power=1.0
+            )
+        with pytest.raises(BackendError):
+            kernel.campaign_trials(
+                [[1.0]], [1.0], [0.5], trials=10, seed=0, tolerance=0.0, total_power=1.0
+            )
+        with pytest.raises(BackendError):
+            kernel.campaign_trials(
+                [[1.0, 0.0]], [1.0], [0.5], trials=10, seed=0, tolerance=0.5, total_power=1.0
+            )
+
+
 class TestKernelValidation:
     @pytest.mark.parametrize("backend", available_backends())
     def test_invalid_arguments_raise_backend_error(self, backend):

@@ -42,6 +42,17 @@ class TestMembership:
         with pytest.raises(PopulationError):
             population.join(Replica("r0", linux_alpha_config))
 
+    def test_constructor_rejects_duplicate_ids(self, linux_alpha_config):
+        # Mirrors the catalog's duplicate-id guard: an earlier replica must
+        # never be silently shadowed by a same-id late arrival.
+        with pytest.raises(PopulationError, match="already joined"):
+            ReplicaPopulation(
+                [
+                    Replica("r0", linux_alpha_config, power=1.0),
+                    Replica("r0", linux_alpha_config, power=5.0),
+                ]
+            )
+
     def test_leave_unknown_raises(self):
         with pytest.raises(PopulationError):
             ReplicaPopulation().leave("ghost")

@@ -72,3 +72,84 @@ class TestDecentralizedPoolsExperiment:
             run_decentralized_pools(steps=(18,))
         with pytest.raises(ExperimentError):
             run_decentralized_pools(coalition_size=0)
+
+
+class TestCampaignBudgetExperiment:
+    def test_violation_probability_grows_with_budget(self):
+        from repro.experiments.campaign_budget import (
+            campaign_budget_table,
+            run_campaign_budget,
+        )
+
+        result = run_campaign_budget(budgets=(1, 3, 6), trials=200)
+        assert result.monotone_increasing
+        series = [row.violation_probability_bft for row in result.rows]
+        assert series[-1] > series[0]
+        # The majority tolerance is harder to violate than BFT's.
+        for row in result.rows:
+            assert row.violation_probability_majority <= row.violation_probability_bft
+        assert "budget m" in campaign_budget_table(result).render()
+
+    def test_parameter_validation(self):
+        from repro.experiments.campaign_budget import run_campaign_budget
+
+        with pytest.raises(ExperimentError):
+            run_campaign_budget(budgets=())
+        with pytest.raises(ExperimentError):
+            run_campaign_budget(budgets=(1, 0))
+
+
+class TestCampaignReliabilityExperiment:
+    def test_violation_probability_grows_with_reliability(self):
+        from repro.experiments.campaign_reliability import run_campaign_reliability
+
+        result = run_campaign_reliability(
+            exploit_probabilities=(0.3, 0.6, 0.9), trials=200
+        )
+        assert result.monotone_increasing
+        series = [row.violation_probability_bft for row in result.rows]
+        assert series[-1] > series[0]
+
+    def test_population_is_fixed_across_points(self):
+        from repro.faults.scenarios import reliability_scenarios
+
+        scenarios = reliability_scenarios((0.2, 0.8), population_size=12, seed=4)
+        populations = [s.population for s in scenarios.values()]
+        assert populations[0].replica_ids() == populations[1].replica_ids()
+        assert [r.configuration for r in populations[0]] == [
+            r.configuration for r in populations[1]
+        ]
+
+    def test_parameter_validation(self):
+        from repro.experiments.campaign_reliability import run_campaign_reliability
+
+        with pytest.raises(ExperimentError):
+            run_campaign_reliability(exploit_probabilities=())
+        with pytest.raises(ExperimentError):
+            run_campaign_reliability(budget=0)
+
+
+class TestCampaignChurnExperiment:
+    def test_trajectory_shape(self):
+        from repro.experiments.campaign_churn import run_campaign_churn
+
+        result = run_campaign_churn(steps=40, checkpoints=2, trials=100)
+        assert [row.step for row in result.rows] == [0, 20, 40]
+        assert all(0.0 <= row.violation_probability_bft <= 1.0 for row in result.rows)
+        assert result.entropy_drift == pytest.approx(
+            result.rows[-1].entropy_bits - result.rows[0].entropy_bits
+        )
+
+    def test_parameter_validation(self):
+        from repro.core.exceptions import FaultModelError
+        from repro.experiments.campaign_churn import run_campaign_churn
+        from repro.faults.scenarios import churned_scenarios, resolve_ecosystem
+
+        with pytest.raises(ExperimentError):
+            run_campaign_churn(budget=0)
+        with pytest.raises(FaultModelError):
+            churned_scenarios(steps=0)
+        with pytest.raises(FaultModelError):
+            churned_scenarios(steps=10, checkpoints=11)
+        with pytest.raises(FaultModelError):
+            resolve_ecosystem("martian")

@@ -82,6 +82,52 @@ class TestExploitCampaign:
         with pytest.raises(FaultModelError):
             ExploitCampaign(small_population, catalog).run([])
 
+    def test_duplicate_vulnerability_ids_rejected(self, small_population, catalog):
+        campaign = ExploitCampaign(small_population, catalog)
+        with pytest.raises(FaultModelError, match="duplicate vulnerability ids"):
+            campaign.run(["CVE-TEST-OPENSSL", "CVE-TEST-OPENSSL"])
+
+    def test_worst_case_rejects_nonpositive_budget(self, small_population, catalog):
+        campaign = ExploitCampaign(small_population, catalog)
+        with pytest.raises(FaultModelError, match="max vulnerabilities"):
+            campaign.run_worst_case(max_vulnerabilities=0)
+        with pytest.raises(FaultModelError, match="max vulnerabilities"):
+            campaign.run_worst_case(max_vulnerabilities=-2)
+
+    def test_worst_case_rejects_empty_catalog(self, small_population):
+        campaign = ExploitCampaign(small_population, VulnerabilityCatalog())
+        with pytest.raises(FaultModelError, match="catalog is empty"):
+            campaign.run_worst_case(max_vulnerabilities=1)
+
+    def test_shared_matrix_reproduces_fresh_campaigns(self, small_population, catalog):
+        from repro.faults.matrix import PopulationMatrix
+
+        matrix = PopulationMatrix.build(small_population, catalog)
+        shared = ExploitCampaign(small_population, catalog, matrix=matrix)
+        fresh = ExploitCampaign(small_population, catalog)
+        assert shared.run(catalog.ids()) == fresh.run(catalog.ids())
+
+    def test_flaky_exploit_stream_matches_scalar_model(self, small_population):
+        # The matrix-backed campaign must draw the same random stream as the
+        # scalar model did: one draw per exposed replica, in join order.
+        catalog = VulnerabilityCatalog(
+            [
+                make_vulnerability(
+                    ComponentKind.OPERATING_SYSTEM, "linux", exploit_probability=0.5
+                )
+            ]
+        )
+        import random
+
+        rng = random.Random(3)
+        expected = {
+            replica_id
+            for replica_id in ("r0", "r1", "r2")  # join order of exposed replicas
+            if rng.random() < 0.5
+        }
+        outcome = ExploitCampaign(small_population, catalog, seed=3).run(catalog.ids())
+        assert set(outcome.compromised_replicas) == expected
+
     def test_single_vulnerability_breakdown(self, small_population, catalog):
         verdicts = single_vulnerability_breakdown(
             small_population, catalog, family=ProtocolFamily.BFT

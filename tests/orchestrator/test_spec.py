@@ -10,15 +10,21 @@ from repro.experiments.orchestrator import registry
 
 
 class TestRegistry:
-    def test_thirteen_experiments_in_paper_order(self):
+    def test_sixteen_experiments_in_paper_order(self):
         ids = registry.experiment_ids()
-        assert len(ids) == 13
+        assert len(ids) == 16
         assert ids[:5] == [
             "figure1",
             "example1",
             "proposition1",
             "proposition2",
             "proposition3",
+        ]
+        # The campaign-engine sweeps (PR 5) close the registry.
+        assert ids[-3:] == [
+            "campaign_budget",
+            "campaign_reliability",
+            "campaign_churn",
         ]
 
     def test_get_spec_unknown_raises(self):
@@ -43,6 +49,15 @@ class TestRegistry:
         assert by_id["safety_violation"].seed == 7
         assert by_id["two_class"].seed == 23
         assert by_id["figure1"].seed is None
+        assert by_id["campaign_budget"].seed == 11
+
+    def test_campaign_specs_are_backend_insensitive(self):
+        # The campaign kernels draw from a counter-based RNG stream, so the
+        # sweeps produce identical numbers on every backend and need only
+        # one golden snapshot each.
+        by_id = {spec.experiment_id: spec for spec in registry.all_specs()}
+        for name in ("campaign_budget", "campaign_reliability", "campaign_churn"):
+            assert not by_id[name].backend_sensitive
 
     def test_params_round_trip(self):
         for spec in registry.all_specs():

@@ -319,3 +319,50 @@ class TestBenchCommand:
     def test_bench_rejects_bad_workload(self, capsys):
         assert main(["bench", "--trials", "0"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestBenchCampaignCommand:
+    def test_bench_campaign_prints_table_for_every_backend(self, capsys):
+        assert (
+            main(
+                [
+                    "bench-campaign",
+                    "--trials", "50",
+                    "--replicas", "12",
+                    "--repeats", "1",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "campaigns/sec" in output
+        assert "python" in output
+        assert "identical campaign results: True" in output
+
+    def test_bench_campaign_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        snapshot = tmp_path / "BENCH_CAMPAIGN_TEST.json"
+        assert (
+            main(
+                [
+                    "bench-campaign",
+                    "--trials", "50",
+                    "--replicas", "12",
+                    "--repeats", "1",
+                    "--output", str(snapshot),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        document = json.loads(snapshot.read_text())
+        assert document["benchmark"] == "batch_campaign_engine"
+        assert document["workload"]["trials"] == 50
+        assert set(document["results"])  # at least one backend measured
+        if "numpy" in document["results"]:
+            assert document["speedup_numpy_over_python"] > 0
+
+    def test_bench_campaign_rejects_bad_workload(self, capsys):
+        assert main(["bench-campaign", "--trials", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
