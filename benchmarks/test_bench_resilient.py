@@ -1,0 +1,61 @@
+"""Benchmark: serial vs sharded campaign estimation on the resilient seam.
+
+The sharded run pays dispatch overhead (pickling shard arguments, merging
+batch results) in exchange for parallel trial evaluation, and the
+counter-based RNG keeps the sharded estimate bit-identical to serial — so
+the recorded timings measure pure orchestration cost, never a change in the
+answer.
+
+Run with::
+
+    pytest benchmarks/test_bench_resilient.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.backend import available_backends
+from repro.faults.engine import BatchCampaignEngine, ShardedCampaignRun
+from repro.faults.scenarios import ecosystem_scenario
+
+TRIALS = 2_500
+REPLICAS = 150
+
+SCENARIO = ecosystem_scenario(
+    ecosystem="default",
+    population_size=REPLICAS,
+    seed=42,
+    exploit_probability=0.6,
+)
+
+
+def _engine(backend):
+    return BatchCampaignEngine(
+        SCENARIO.population, SCENARIO.catalog, backend=backend
+    )
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_serial_estimate_baseline(benchmark, backend):
+    engine = _engine(backend)
+    estimate = benchmark(engine.estimate, trials=TRIALS, seed=42)
+    assert estimate.trials == TRIALS
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_process_sharded_estimate(benchmark, backend):
+    engine = _engine(backend)
+    run = ShardedCampaignRun(engine, max_workers=4)
+    estimate = benchmark(run.estimate, trials=TRIALS, seed=42)
+    assert estimate == engine.estimate(trials=TRIALS, seed=42)
+
+
+def test_thread_sharded_estimate(benchmark):
+    engine = _engine("python")
+    with ThreadPoolExecutor(max_workers=4) as executor:
+        run = ShardedCampaignRun(engine, max_workers=4, executor=executor)
+        estimate = benchmark(run.estimate, trials=TRIALS, seed=42)
+    assert estimate == engine.estimate(trials=TRIALS, seed=42)

@@ -177,6 +177,7 @@ class ComputeBackend(abc.ABC):
         seed: int,
         tolerance: float,
         total_power: float,
+        trial_offset: int = 0,
     ) -> CampaignBatchResult:
         """Run ``trials`` randomized exploit campaigns over an exposure matrix.
 
@@ -196,6 +197,15 @@ class ComputeBackend(abc.ABC):
         bit-identical across backends (float reductions under the same
         dyadic-power caveat as :meth:`masked_power_sums`; the violation
         verdicts and counts agree exactly for the shipped scenarios).
+
+        ``trial_offset`` shifts the trial counter: the call computes trials
+        ``trial_offset .. trial_offset + trials - 1`` of the logical
+        campaign, drawing the exact uniforms a single full-range call would
+        draw for those trials.  This is the sharding seam — a worker
+        computing ``[lo, hi)`` with ``trial_offset=lo`` produces the same
+        per-trial outcomes as the serial run, so shard results sum back to
+        the serial result and a retried shard is bit-identical to its first
+        attempt.
         """
 
     # -- entropy kernel ---------------------------------------------------------
@@ -304,6 +314,7 @@ def validate_campaign_arguments(
     trials: int,
     tolerance: float,
     total_power: float,
+    trial_offset: int = 0,
 ) -> None:
     """Shared argument validation for :meth:`ComputeBackend.campaign_trials`."""
     from repro.core.exceptions import BackendError
@@ -330,6 +341,8 @@ def validate_campaign_arguments(
         raise BackendError("success probabilities must be in [0, 1]")
     if trials <= 0:
         raise BackendError(f"trial count must be positive, got {trials}")
+    if trial_offset < 0:
+        raise BackendError(f"trial offset must be non-negative, got {trial_offset}")
     if not 0.0 < tolerance <= 1.0:
         raise BackendError(f"tolerance must be in (0, 1], got {tolerance}")
     if total_power <= 0:

@@ -155,6 +155,7 @@ class NumpyBackend(ComputeBackend):
         seed: int,
         tolerance: float,
         total_power: float,
+        trial_offset: int = 0,
     ) -> CampaignBatchResult:
         validate_campaign_arguments(
             exposure,
@@ -163,6 +164,7 @@ class NumpyBackend(ComputeBackend):
             trials=trials,
             tolerance=tolerance,
             total_power=total_power,
+            trial_offset=trial_offset,
         )
         exposed = _np.asarray(exposure, dtype=_np.float64) > 0
         power_row = _np.asarray(powers, dtype=_np.float64)
@@ -189,7 +191,9 @@ class NumpyBackend(ComputeBackend):
         while start < trials:
             batch = min(chunk_trials, trials - start)
             counters = (
-                _np.arange(start, start + batch, dtype=_np.uint64)[:, None, None]
+                _np.arange(
+                    trial_offset + start, trial_offset + start + batch, dtype=_np.uint64
+                )[:, None, None]
                 * _np.uint64(cells_per_trial)
                 + cell_offsets[None, :, :]
             )

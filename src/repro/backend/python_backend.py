@@ -103,6 +103,7 @@ class PythonBackend(ComputeBackend):
         seed: int,
         tolerance: float,
         total_power: float,
+        trial_offset: int = 0,
     ) -> CampaignBatchResult:
         validate_campaign_arguments(
             exposure,
@@ -111,6 +112,7 @@ class PythonBackend(ComputeBackend):
             trials=trials,
             tolerance=tolerance,
             total_power=total_power,
+            trial_offset=trial_offset,
         )
         replica_count = len(powers)
         column_count = len(success_probabilities)
@@ -128,7 +130,7 @@ class PythonBackend(ComputeBackend):
         compromised_total = 0.0
         per_vulnerability = [0.0] * column_count
         for trial in range(trials):
-            base_index = trial * cells_per_trial
+            base_index = (trial_offset + trial) * cells_per_trial
             hit = [False] * replica_count
             for column, probability in enumerate(success_probabilities):
                 if probability <= 0.0:

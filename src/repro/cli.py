@@ -76,6 +76,7 @@ from repro.core.distribution import ConfigurationDistribution
 from repro.core.exceptions import OrchestrationError, ReproError
 from repro.core.resilience import ProtocolFamily, tolerated_fault_fraction
 from repro.experiments.orchestrator import (
+    DEFAULT_RETRIES,
     ExperimentResult,
     ResultCache,
     execute_spec,
@@ -89,6 +90,8 @@ from repro.experiments.orchestrator import (
     write_results_document,
 )
 from repro.serve import (
+    DEFAULT_FAILURE_THRESHOLD,
+    DEFAULT_RESET_TIMEOUT,
     ResultServer,
     default_jobs,
     run_serve_bench,
@@ -166,6 +169,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="process-pool size (implies --parallel)",
     )
     run_parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt deadline for parallel tasks; a hung worker is "
+        "terminated and the task retried (default: no deadline)",
+    )
+    run_parser.add_argument(
+        "--retries",
+        type=int,
+        default=DEFAULT_RETRIES,
+        metavar="N",
+        help="re-dispatches allowed per parallel task after a worker crash, "
+        f"timeout or injected fault (default: {DEFAULT_RETRIES}; results "
+        "are bit-identical regardless of retries)",
+    )
+    run_parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the result cache entirely (no reads, no writes)",
@@ -240,6 +260,38 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="re-hash the source tree this often so the server picks up "
         "edits (0 disables; default: 5)",
+    )
+    serve_parser.add_argument(
+        "--build-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request build deadline; exceeding it answers 504 and the "
+        "hung worker is terminated (default: no deadline)",
+    )
+    serve_parser.add_argument(
+        "--build-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-dispatches per build after a worker crash or injected "
+        "fault (default: 0 — fail fast and let the breaker count it)",
+    )
+    serve_parser.add_argument(
+        "--breaker-threshold",
+        type=_positive_int,
+        default=DEFAULT_FAILURE_THRESHOLD,
+        metavar="N",
+        help="consecutive build failures that open the circuit breaker "
+        f"(503 + Retry-After; default: {DEFAULT_FAILURE_THRESHOLD})",
+    )
+    serve_parser.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=DEFAULT_RESET_TIMEOUT,
+        metavar="SECONDS",
+        help="seconds an open breaker waits before probing one build "
+        f"(default: {DEFAULT_RESET_TIMEOUT})",
     )
 
     bench_serve_parser = subparsers.add_parser(
@@ -459,12 +511,17 @@ def _command_run(arguments: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
+    if arguments.retries < 0:
+        print("error: --retries must be non-negative", file=sys.stderr)
+        return 2
     results = run_experiments(
         selected,
         parallel=arguments.parallel or arguments.jobs is not None,
         max_workers=arguments.jobs,
         cache=cache,
         force=arguments.force,
+        task_timeout=arguments.task_timeout,
+        retries=arguments.retries,
     )
     if not arguments.quiet:
         for spec, result in zip(selected, results):
@@ -547,6 +604,10 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             jobs=arguments.jobs,
             cache_dir=arguments.cache_dir,
             refresh_interval=arguments.refresh_interval,
+            build_deadline=arguments.build_deadline,
+            build_retries=arguments.build_retries,
+            breaker_threshold=arguments.breaker_threshold,
+            breaker_reset=arguments.breaker_reset,
         )
         await server.start()
         assert server.service is not None

@@ -81,6 +81,21 @@ class OrchestrationError(ReproError):
     entry / results document."""
 
 
+class ChaosError(ReproError):
+    """A fault injected by the chaos harness (``repro.testing.chaos``).
+
+    Raised for the ``corrupt`` injection kind at task sites so resilience
+    tests can exercise the retry path with a recognizable, retryable
+    exception — production code never raises this unless ``REPRO_CHAOS``
+    is set.
+    """
+
+
+class TaskTimeoutError(ReproError):
+    """A task exceeded its deadline on a resilient executor and exhausted
+    every retry (the per-attempt timeout, not a transport timeout)."""
+
+
 class ServeError(ReproError):
     """An HTTP result-service request cannot be served.
 
@@ -88,8 +103,17 @@ class ServeError(ReproError):
     unknown experiment or route, ``400`` for malformed parameters, ``405``
     for an unsupported method), so route handlers can raise one exception
     type and let the app layer translate it into a JSON error response.
+    ``headers`` carries extra response headers (e.g. ``Retry-After`` on the
+    circuit breaker's ``503``).
     """
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        headers: tuple = (),
+    ) -> None:
         super().__init__(message)
         self.status = int(status)
+        self.headers = tuple(headers)

@@ -33,6 +33,12 @@ from repro.experiments.orchestrator.cache import (
     refresh_code_fingerprint,
 )
 from repro.experiments.orchestrator.engine import execute_spec, run_experiments
+from repro.experiments.orchestrator.resilient import (
+    DEFAULT_RETRIES,
+    ResilientExecutor,
+    TaskAttempt,
+    backoff_delay,
+)
 from repro.experiments.orchestrator.result import (
     RESULT_SCHEMA_VERSION,
     ExperimentResult,
@@ -54,13 +60,17 @@ from repro.experiments.orchestrator.spec import (
 __all__ = [
     "CACHE_DIR_ENV_VAR",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_RETRIES",
     "CacheStats",
     "ExperimentResult",
     "ExperimentSpec",
     "PruneReport",
     "RESULT_SCHEMA_VERSION",
+    "ResilientExecutor",
     "ResultCache",
     "ResultPayload",
+    "TaskAttempt",
+    "backoff_delay",
     "code_fingerprint",
     "default_cache_dir",
     "execute_spec",

@@ -40,6 +40,7 @@ from repro.experiments.orchestrator.result import (
     ExperimentResult,
 )
 from repro.experiments.orchestrator.spec import ExperimentSpec
+from repro.testing.chaos import chaos_checkpoint
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
@@ -258,6 +259,13 @@ class ResultCache:
                 with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                     json.dump(document, handle, sort_keys=True, allow_nan=False)
                     handle.write("\n")
+                # Chaos checkpoint between the temp write and the atomic
+                # rename: a "crash" here leaves exactly the torn state the
+                # tmp+rename protocol exists to keep invisible, and a
+                # "corrupt" commits garbage that load() must treat as a miss.
+                if chaos_checkpoint("cache-write", key=key) == "corrupt":
+                    with open(temp_path, "w", encoding="utf-8") as handle:
+                        handle.write('{"torn": ')
                 os.replace(temp_path, path)
             except BaseException:
                 try:

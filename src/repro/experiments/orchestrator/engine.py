@@ -28,14 +28,15 @@ experiment.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.backend import get_backend
 from repro.backend.selection import use_backend
 from repro.experiments.orchestrator.cache import ResultCache
+from repro.experiments.orchestrator.resilient import DEFAULT_RETRIES, ResilientExecutor
 from repro.experiments.orchestrator.result import ExperimentResult, jsonify
 from repro.experiments.orchestrator.spec import ExperimentSpec
+from repro.testing.chaos import chaos_checkpoint
 
 
 def execute_spec(
@@ -84,6 +85,7 @@ def _pool_execute(
     """
     from repro.experiments.orchestrator import registry
 
+    chaos_checkpoint("task", key=experiment_id)
     spec = registry.get_spec(experiment_id)
     params = spec.params_from_dict(params_doc) if spec.params_type is not None else None
     return execute_spec(spec, params, backend=backend).to_dict()
@@ -97,6 +99,8 @@ def run_experiments(
     max_workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     force: bool = False,
+    task_timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
 ) -> List[ExperimentResult]:
     """Run ``specs`` (default parameters) and return results in spec order.
 
@@ -109,6 +113,14 @@ def run_experiments(
             prior results with matching content keys are returned directly.
         force: recompute even on a cache hit (the fresh result still
             overwrites the cache entry).
+        task_timeout: per-attempt deadline (seconds) for each parallel task;
+            a hung worker is terminated and its task retried.  ``None``
+            waits forever.
+        retries: how many times a parallel task lost to a worker crash,
+            timeout or injected fault is re-dispatched before the run fails.
+            Experiments are pure functions of their params, so a retried
+            task returns bit-identical results and determinism survives
+            worker loss.
     """
     effective_backend = get_backend(backend).name
     results: List[Optional[ExperimentResult]] = [None] * len(specs)
@@ -130,7 +142,10 @@ def run_experiments(
         pending.append((index, spec, params_doc, key))
 
     if parallel and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        pool = ResilientExecutor(
+            max_workers=max_workers, deadline=task_timeout, retries=retries
+        )
+        try:
             futures = [
                 (index, spec, key, pool.submit(_pool_execute, spec.experiment_id, params_doc, effective_backend))
                 for index, spec, params_doc, key in pending
@@ -140,6 +155,8 @@ def run_experiments(
                 results[index] = result
                 if cache is not None and key is not None:
                     cache.store(key, result)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
     else:
         for index, spec, params_doc, key in pending:
             result = execute_spec(spec, backend=effective_backend)

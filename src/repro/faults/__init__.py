@@ -33,7 +33,11 @@ from repro.faults.catalog import VulnerabilityCatalog
 from repro.faults.engine import (
     BatchCampaignEngine,
     CampaignEstimate,
+    CampaignPlan,
+    ShardedCampaignRun,
+    merge_campaign_batches,
     run_census_trials,
+    split_trial_ranges,
 )
 from repro.faults.injection import FaultKind, FaultSchedule, FaultSpec
 from repro.faults.matrix import PopulationMatrix
@@ -51,6 +55,7 @@ __all__ = [
     "BriberyAdversary",
     "CampaignEstimate",
     "CampaignOutcome",
+    "CampaignPlan",
     "ExploitAdversary",
     "ExploitCampaign",
     "ExposureTimeline",
@@ -63,8 +68,11 @@ __all__ = [
     "ProactiveRecoveryPolicy",
     "RationalOperatorAdversary",
     "Severity",
+    "ShardedCampaignRun",
     "Vulnerability",
     "VulnerabilityCatalog",
     "VulnerabilityWindow",
+    "merge_campaign_batches",
     "run_census_trials",
+    "split_trial_ranges",
 ]

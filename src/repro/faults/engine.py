@@ -24,10 +24,10 @@ backends from one module.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.backend import get_backend
-from repro.backend.base import TrialBatchResult
+from repro.backend.base import CampaignBatchResult, TrialBatchResult
 from repro.backend.selection import BackendLike
 from repro.core.distribution import ConfigurationDistribution
 from repro.core.exceptions import FaultModelError
@@ -36,6 +36,7 @@ from repro.core.resilience import ProtocolFamily, tolerated_fault_fraction
 from repro.faults.campaign import reject_duplicate_vulnerability_ids
 from repro.faults.catalog import VulnerabilityCatalog
 from repro.faults.matrix import PopulationMatrix
+from repro.testing.chaos import chaos_checkpoint
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,15 @@ class CampaignEstimate:
     tolerated_fraction: float
     total_power: float
     mean_power_per_vulnerability: Tuple[Tuple[str, float], ...]
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """Validated campaign targets: requested ids, exploitable subset, tolerance."""
+
+    ids: Tuple[str, ...]
+    exploited: Tuple[str, ...]
+    tolerance: float
 
 
 class BatchCampaignEngine:
@@ -121,6 +131,44 @@ class BatchCampaignEngine:
             time: optional simulation time; vulnerabilities not yet disclosed
                 at ``time`` are skipped (reported with mean ``f_t^i`` 0.0).
         """
+        plan = self._plan(
+            vulnerability_ids,
+            trials=trials,
+            family=family,
+            tolerated_fraction=tolerated_fraction,
+            time=time,
+        )
+        batch: Optional[CampaignBatchResult] = None
+        if plan.exploited:
+            resolved = get_backend(self._backend)
+            if plan.exploited == self._matrix.vulnerability_ids:
+                # Full-catalog campaigns reuse the matrix's per-backend cache.
+                exposure_array = self._matrix.exposure_array(resolved)
+                probabilities = self._matrix.success_probabilities
+            else:
+                exposure_rows, probabilities = self._matrix.columns_for(plan.exploited)
+                exposure_array = resolved.asarray_matrix(exposure_rows)
+            batch = resolved.campaign_trials(
+                exposure_array,
+                self._matrix.powers_array(resolved),
+                probabilities,
+                trials=trials,
+                seed=seed,
+                tolerance=plan.tolerance,
+                total_power=self._matrix.total_power,
+            )
+        return self._finalize(plan, trials, batch)
+
+    def _plan(
+        self,
+        vulnerability_ids: Optional[Sequence[str]],
+        *,
+        trials: int,
+        family: ProtocolFamily,
+        tolerated_fraction: Optional[float],
+        time: Optional[float],
+    ) -> "CampaignPlan":
+        """Validate arguments and resolve targets; shared by serial & sharded runs."""
         if trials <= 0:
             raise FaultModelError(f"trial count must be positive, got {trials}")
         if vulnerability_ids is None:
@@ -142,44 +190,36 @@ class BatchCampaignEngine:
             raise FaultModelError(
                 f"tolerated fraction must be in (0, 1], got {tolerance}"
             )
-        exploited = [
+        exploited = tuple(
             vuln_id
             for vuln_id in ids
             if self._matrix.is_exploitable_at(vuln_id, time)
-        ]
-        per_vulnerability: Dict[str, float] = {vuln_id: 0.0 for vuln_id in ids}
+        )
+        return CampaignPlan(ids=tuple(ids), exploited=exploited, tolerance=tolerance)
+
+    def _finalize(
+        self,
+        plan: "CampaignPlan",
+        trials: int,
+        batch: Optional[CampaignBatchResult],
+    ) -> CampaignEstimate:
+        """Reduce a (possibly merged) kernel batch to a :class:`CampaignEstimate`."""
+        per_vulnerability: Dict[str, float] = {vuln_id: 0.0 for vuln_id in plan.ids}
         violations = 0
         compromised_total = 0.0
-        if exploited:
-            resolved = get_backend(self._backend)
-            if tuple(exploited) == self._matrix.vulnerability_ids:
-                # Full-catalog campaigns reuse the matrix's per-backend cache.
-                exposure_array = self._matrix.exposure_array(resolved)
-                probabilities = self._matrix.success_probabilities
-            else:
-                exposure_rows, probabilities = self._matrix.columns_for(exploited)
-                exposure_array = resolved.asarray_matrix(exposure_rows)
-            batch = resolved.campaign_trials(
-                exposure_array,
-                self._matrix.powers_array(resolved),
-                probabilities,
-                trials=trials,
-                seed=seed,
-                tolerance=tolerance,
-                total_power=self._matrix.total_power,
-            )
+        if batch is not None:
             violations = batch.violations
             compromised_total = batch.compromised_total
-            for vuln_id, total in zip(exploited, batch.per_vulnerability_totals):
+            for vuln_id, total in zip(plan.exploited, batch.per_vulnerability_totals):
                 per_vulnerability[vuln_id] = total / trials
         return CampaignEstimate(
-            exploited=tuple(exploited),
+            exploited=plan.exploited,
             trials=trials,
             violations=violations,
             violation_probability=violations / trials,
             mean_compromised_fraction=compromised_total
             / (trials * self._matrix.total_power),
-            tolerated_fraction=tolerance,
+            tolerated_fraction=plan.tolerance,
             total_power=self._matrix.total_power,
             mean_power_per_vulnerability=tuple(sorted(per_vulnerability.items())),
         )
@@ -217,6 +257,222 @@ class BatchCampaignEngine:
             tolerated_fraction=tolerated_fraction,
             time=time,
         )
+
+
+# -- sharded campaign runs ----------------------------------------------------
+
+
+def split_trial_ranges(trials: int, shards: int) -> Tuple[Tuple[int, int], ...]:
+    """Split ``trials`` into ``shards`` contiguous ``(offset, count)`` ranges.
+
+    The first ``trials % shards`` ranges are one trial longer; empty ranges
+    are dropped (sharding 5 trials 8 ways yields 5 ranges).  Because the
+    campaign kernels are counter-based, a shard computing its range with
+    ``trial_offset=offset`` draws exactly the uniforms the serial run draws
+    for those trials — the ranges partition the serial trial sequence.
+    """
+    if trials <= 0:
+        raise FaultModelError(f"trial count must be positive, got {trials}")
+    if shards <= 0:
+        raise FaultModelError(f"shard count must be positive, got {shards}")
+    base, remainder = divmod(trials, shards)
+    ranges: List[Tuple[int, int]] = []
+    offset = 0
+    for shard in range(shards):
+        count = base + (1 if shard < remainder else 0)
+        if count == 0:
+            continue
+        ranges.append((offset, count))
+        offset += count
+    return tuple(ranges)
+
+
+def merge_campaign_batches(
+    batches: Sequence[CampaignBatchResult],
+) -> CampaignBatchResult:
+    """Sum shard results back into the serial run's :class:`CampaignBatchResult`.
+
+    Violation and trial counts are integers, so their sums are always exact.
+    The power totals are float sums; summing shards in offset order matches
+    the serial accumulation bit-for-bit whenever the per-trial contributions
+    are dyadic rationals (every shipped scenario uses power 1.0 per replica),
+    and to float tolerance otherwise.
+    """
+    if not batches:
+        raise FaultModelError("cannot merge zero campaign batches")
+    widths = {len(batch.per_vulnerability_totals) for batch in batches}
+    if len(widths) != 1:
+        raise FaultModelError(
+            f"campaign batches disagree on vulnerability count: {sorted(widths)}"
+        )
+    per_vulnerability = [0.0] * widths.pop()
+    trials = 0
+    violations = 0
+    compromised_total = 0.0
+    for batch in batches:
+        trials += batch.trials
+        violations += batch.violations
+        compromised_total += batch.compromised_total
+        for column, total in enumerate(batch.per_vulnerability_totals):
+            per_vulnerability[column] += total
+    return CampaignBatchResult(
+        trials=trials,
+        violations=violations,
+        compromised_total=compromised_total,
+        per_vulnerability_totals=tuple(per_vulnerability),
+    )
+
+
+def _campaign_shard_worker(
+    backend_name: str,
+    exposure_rows: Tuple[Tuple[float, ...], ...],
+    powers: Tuple[float, ...],
+    success_probabilities: Tuple[float, ...],
+    trials: int,
+    seed: int,
+    tolerance: float,
+    total_power: float,
+    trial_offset: int,
+) -> Dict[str, Any]:
+    """Pool-worker entry: one shard's trials as plain JSON-safe data.
+
+    Arguments are primitives (no engine, no matrix) so any executor can
+    carry them across a process boundary, and the return value is a plain
+    dict for the same reason.
+    """
+    chaos_checkpoint("task", key=f"campaign-shard:{trial_offset}+{trials}")
+    resolved = get_backend(backend_name)
+    batch = resolved.campaign_trials(
+        resolved.asarray_matrix(exposure_rows),
+        resolved.asarray(powers),
+        success_probabilities,
+        trials=trials,
+        seed=seed,
+        tolerance=tolerance,
+        total_power=total_power,
+        trial_offset=trial_offset,
+    )
+    return {
+        "trials": batch.trials,
+        "violations": batch.violations,
+        "compromised_total": batch.compromised_total,
+        "per_vulnerability_totals": list(batch.per_vulnerability_totals),
+    }
+
+
+class ShardedCampaignRun:
+    """Fan a campaign's trial range out over resilient pool workers.
+
+    Wraps a :class:`BatchCampaignEngine` and produces the **same**
+    :class:`CampaignEstimate` as ``engine.estimate(...)`` — bit-identical
+    under the dyadic-power caveat of :func:`merge_campaign_batches` — by
+    splitting the trial range into contiguous shards, running each shard as
+    an independent pool task with ``trial_offset`` pinning its slice of the
+    counter-based RNG stream, and summing the shard batches in offset order.
+
+    Shards run on a :class:`ResilientExecutor`, so a worker crash, hang or
+    injected fault re-dispatches only the lost shard; because a shard's
+    result depends only on ``(seed, offset, count)``, the retried shard is
+    bit-identical to what the lost attempt would have produced and worker
+    loss cannot change a single number.
+
+    Args:
+        engine: the campaign engine whose population/catalog to sample.
+        max_workers: shard count **and** pool width (default 2).
+        task_timeout: per-shard deadline (seconds); hung workers are
+            terminated and the shard retried.
+        retries: re-dispatches allowed per shard.
+        executor: override the executor (tests inject thread-backed pools);
+            when given the run does not shut it down.
+    """
+
+    def __init__(
+        self,
+        engine: BatchCampaignEngine,
+        *,
+        max_workers: int = 2,
+        task_timeout: Optional[float] = None,
+        retries: int = 2,
+        executor: Optional[Any] = None,
+    ) -> None:
+        if max_workers <= 0:
+            raise FaultModelError(
+                f"worker count must be positive, got {max_workers}"
+            )
+        self._engine = engine
+        self._max_workers = max_workers
+        self._task_timeout = task_timeout
+        self._retries = retries
+        self._executor = executor
+
+    def estimate(
+        self,
+        vulnerability_ids: Optional[Sequence[str]] = None,
+        *,
+        trials: int,
+        seed: int = 0,
+        family: ProtocolFamily = ProtocolFamily.BFT,
+        tolerated_fraction: Optional[float] = None,
+        time: Optional[float] = None,
+    ) -> CampaignEstimate:
+        """Sharded equivalent of :meth:`BatchCampaignEngine.estimate`."""
+        from repro.experiments.orchestrator.resilient import ResilientExecutor
+
+        engine = self._engine
+        plan = engine._plan(
+            vulnerability_ids,
+            trials=trials,
+            family=family,
+            tolerated_fraction=tolerated_fraction,
+            time=time,
+        )
+        if not plan.exploited:
+            return engine._finalize(plan, trials, None)
+        matrix = engine.matrix
+        exposure_rows, probabilities = matrix.columns_for(plan.exploited)
+        backend_name = get_backend(engine._backend).name
+        ranges = split_trial_ranges(trials, self._max_workers)
+        owned = self._executor is None
+        pool = (
+            ResilientExecutor(
+                max_workers=self._max_workers,
+                deadline=self._task_timeout,
+                retries=self._retries,
+            )
+            if owned
+            else self._executor
+        )
+        try:
+            futures = [
+                pool.submit(
+                    _campaign_shard_worker,
+                    backend_name,
+                    exposure_rows,
+                    matrix.powers,
+                    probabilities,
+                    count,
+                    seed,
+                    plan.tolerance,
+                    matrix.total_power,
+                    offset,
+                )
+                for offset, count in ranges
+            ]
+            batches = [
+                CampaignBatchResult(
+                    trials=payload["trials"],
+                    violations=payload["violations"],
+                    compromised_total=payload["compromised_total"],
+                    per_vulnerability_totals=tuple(
+                        payload["per_vulnerability_totals"]
+                    ),
+                )
+                for payload in (future.result() for future in futures)
+            ]
+        finally:
+            if owned:
+                pool.shutdown(wait=True, cancel_futures=True)
+        return engine._finalize(plan, trials, merge_campaign_batches(batches))
 
 
 def run_census_trials(

@@ -10,11 +10,23 @@ A dependency-free asyncio server (stdlib streams, no framework) that serves
   as a strong ``ETag`` (``If-None-Match`` answers ``304`` without disk I/O);
 - ``GET /healthz`` / ``GET /metrics`` — liveness and counters.
 
+Builds degrade gracefully: misses run on a
+:class:`~repro.experiments.orchestrator.ResilientExecutor` (deadlines,
+bounded retries, pool recycling), a per-request build deadline answers
+``504``, and a :class:`~repro.serve.breaker.CircuitBreaker` answers ``503``
+with ``Retry-After`` after repeated build failures — cache hits keep being
+served, and one successful probe closes the breaker without a restart.
+
 ``repro.cli serve`` runs it; ``repro.cli bench-serve`` measures it (the
 ``BENCH_4.json`` artifact).
 """
 
 from repro.serve.app import ResultApp, error_response, json_body
+from repro.serve.breaker import (
+    DEFAULT_FAILURE_THRESHOLD,
+    DEFAULT_RESET_TIMEOUT,
+    CircuitBreaker,
+)
 from repro.serve.http import (
     HttpRequest,
     HttpResponse,
@@ -34,6 +46,9 @@ from repro.serve.service import PreparedRequest, ResultService
 
 __all__ = [
     "BenchClient",
+    "CircuitBreaker",
+    "DEFAULT_FAILURE_THRESHOLD",
+    "DEFAULT_RESET_TIMEOUT",
     "HttpRequest",
     "HttpResponse",
     "PreparedRequest",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import sys
 from collections import OrderedDict
-from typing import Any, Optional
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.core.exceptions import ServeError
 from repro.serve.http import (
@@ -52,10 +52,17 @@ def json_body(document: Any) -> bytes:
     ).encode("utf-8")
 
 
-def error_response(status: int, message: str) -> HttpResponse:
-    """A JSON error response for ``status``."""
+def error_response(
+    status: int,
+    message: str,
+    *,
+    headers: Sequence[Tuple[str, str]] = (),
+) -> HttpResponse:
+    """A JSON error response for ``status`` (plus e.g. ``Retry-After``)."""
     return HttpResponse(
-        status=status, body=json_body({"error": {"status": status, "message": message}})
+        status=status,
+        body=json_body({"error": {"status": status, "message": message}}),
+        headers=tuple(headers),
     )
 
 
@@ -81,7 +88,7 @@ class ResultApp:
         try:
             response = await self._dispatch(request)
         except ServeError as error:
-            response = error_response(error.status, str(error))
+            response = error_response(error.status, str(error), headers=error.headers)
         except Exception as error:  # a failed build must not kill the connection
             print(
                 f"error: request {request.method} {request.target} failed: {error}",
@@ -104,7 +111,10 @@ class ResultApp:
             )
         path = request.path.rstrip("/") or "/"
         if path == "/healthz":
-            return HttpResponse(status=200, body=json_body({"status": "ok"}))
+            # Always 200 — probes ask "is the process alive"; a degraded
+            # body (breaker open, builds rejected) is a state report, not a
+            # liveness failure.
+            return HttpResponse(status=200, body=json_body(self.service.health()))
         if path == "/metrics":
             return HttpResponse(status=200, body=json_body(self.metrics.snapshot()))
         if path == "/experiments":

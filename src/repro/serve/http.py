@@ -33,6 +33,8 @@ REASON_PHRASES = {
     405: "Method Not Allowed",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Callable, Dict
 
 
 @dataclass
@@ -29,6 +29,10 @@ class ServiceMetrics:
         builds: experiment computations actually submitted to the pool —
             the single-flight invariant is ``builds <= cache_misses``.
         build_failures: computations that raised instead of returning.
+        build_timeouts: builds abandoned at the service's per-request
+            deadline (a subset of ``build_failures``).
+        builds_rejected: builds refused outright by the open circuit
+            breaker (answered ``503`` without touching the pool).
         single_flight_joined: requests that piggybacked on an in-flight build
             instead of starting their own.
         in_flight_requests: requests currently being handled.
@@ -45,18 +49,34 @@ class ServiceMetrics:
     not_modified: int = 0
     builds: int = 0
     build_failures: int = 0
+    build_timeouts: int = 0
+    builds_rejected: int = 0
     single_flight_joined: int = 0
     in_flight_requests: int = 0
     in_flight_builds: int = 0
     fingerprint_refreshes: int = 0
+    _sections: Dict[str, Callable[[], Dict[str, Any]]] = field(
+        default_factory=dict, repr=False
+    )
 
     def count_response(self, status: int) -> None:
         """Record one response with this status code."""
         self.responses_by_status[status] = self.responses_by_status.get(status, 0) + 1
 
+    def attach_section(
+        self, name: str, provider: Callable[[], Dict[str, Any]]
+    ) -> None:
+        """Embed ``provider()`` under ``name`` in every future snapshot.
+
+        How subsystems with their own state (the resilient executor, the
+        circuit breaker) surface in ``GET /metrics`` without this module
+        importing them.
+        """
+        self._sections[name] = provider
+
     def snapshot(self) -> Dict[str, Any]:
         """The flat JSON document ``GET /metrics`` serves."""
-        return {
+        document: Dict[str, Any] = {
             "uptime_seconds": max(0.0, time.time() - self.started_at),
             "requests_total": self.requests_total,
             "responses_by_status": {
@@ -69,8 +89,13 @@ class ServiceMetrics:
             "not_modified": self.not_modified,
             "builds": self.builds,
             "build_failures": self.build_failures,
+            "build_timeouts": self.build_timeouts,
+            "builds_rejected": self.builds_rejected,
             "single_flight_joined": self.single_flight_joined,
             "in_flight_requests": self.in_flight_requests,
             "in_flight_builds": self.in_flight_builds,
             "fingerprint_refreshes": self.fingerprint_refreshes,
         }
+        for name, provider in self._sections.items():
+            document[name] = provider()
+        return document

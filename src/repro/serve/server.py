@@ -17,7 +17,6 @@ from __future__ import annotations
 import asyncio
 import os
 import sys
-from concurrent.futures import ProcessPoolExecutor
 from typing import Optional
 
 from repro.core.exceptions import ServeError
@@ -27,7 +26,13 @@ from repro.experiments.orchestrator.cache import (
     compute_code_fingerprint,
     set_code_fingerprint,
 )
+from repro.experiments.orchestrator.resilient import ResilientExecutor
 from repro.serve.app import ResultApp, error_response
+from repro.serve.breaker import (
+    DEFAULT_FAILURE_THRESHOLD,
+    DEFAULT_RESET_TIMEOUT,
+    CircuitBreaker,
+)
 from repro.serve.http import read_request
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.service import ResultService
@@ -58,6 +63,10 @@ class ResultServer:
         refresh_interval: float = DEFAULT_REFRESH_INTERVAL,
         keep_alive_timeout: float = DEFAULT_KEEP_ALIVE_TIMEOUT,
         metrics: Optional[ServiceMetrics] = None,
+        build_deadline: Optional[float] = None,
+        build_retries: int = 0,
+        breaker_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        breaker_reset: float = DEFAULT_RESET_TIMEOUT,
     ) -> None:
         """Args:
         host: interface to bind.
@@ -72,6 +81,15 @@ class ResultServer:
         keep_alive_timeout: idle seconds before a keep-alive connection is
             dropped.
         metrics: shared counters; a private instance by default.
+        build_deadline: per-request build deadline (seconds) answered
+            ``504`` when exceeded; also the executor's per-attempt deadline
+            so hung workers are terminated.  ``None`` waits forever.
+        build_retries: re-dispatches per build after a worker crash or
+            injected fault (0: fail fast — a request's failure is reported
+            immediately and the breaker counts it).
+        breaker_threshold: consecutive build failures that open the
+            circuit breaker (serve ``503`` + ``Retry-After``).
+        breaker_reset: seconds an open breaker waits before probing.
         """
         self.host = host
         self.requested_port = port
@@ -81,9 +99,14 @@ class ResultServer:
         self.refresh_interval = refresh_interval
         self.keep_alive_timeout = keep_alive_timeout
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.build_deadline = build_deadline
+        self.build_retries = build_retries
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold, reset_timeout=breaker_reset
+        )
         self.service: Optional[ResultService] = None
         self.app: Optional[ResultApp] = None
-        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor: Optional[ResilientExecutor] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._refresh_task: Optional["asyncio.Task[None]"] = None
 
@@ -104,12 +127,20 @@ class ResultServer:
         # Serve keys for the source as it is *now*, not as it was when this
         # process first imported the cache module.
         invalidate_code_fingerprint()
-        self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        self._executor = ResilientExecutor(
+            max_workers=self.jobs,
+            deadline=self.build_deadline,
+            retries=self.build_retries,
+        )
+        self.metrics.attach_section("resilience", self._executor.snapshot)
+        self.metrics.attach_section("breaker", self.breaker.snapshot)
         self.service = ResultService(
             cache=ResultCache(self.cache_dir),
             executor=self._executor,
             metrics=self.metrics,
             backend=self.backend,
+            build_deadline=self.build_deadline,
+            breaker=self.breaker,
         )
         self.app = ResultApp(self.service, self.metrics)
         try:
@@ -169,17 +200,16 @@ class ResultServer:
         return True
 
     def _recycle_executor(self) -> None:
-        """Swap in a fresh pool so new builds run the edited source.
+        """Recycle the resilient executor's pool so new builds run the
+        edited source.
 
+        The executor object itself is stable (the service and the metrics
+        section keep their references); only its inner pool is swapped.
         The old pool's in-flight builds complete (their results are keyed
         under the old fingerprint, consistently), after which it drains.
         """
-        old = self._executor
-        self._executor = ProcessPoolExecutor(max_workers=self.jobs)
-        if self.service is not None:
-            self.service.executor = self._executor
-        if old is not None:
-            old.shutdown(wait=False)
+        if self._executor is not None:
+            self._executor.recycle()
 
     async def _refresh_loop(self) -> None:
         while True:

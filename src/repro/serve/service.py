@@ -15,7 +15,13 @@ bounded :class:`~concurrent.futures.ProcessPoolExecutor`:
   runs no matter how many clients ask;
 - disk reads/writes go through ``asyncio.to_thread`` and computations
   through the process pool, so the event loop never blocks on an
-  experiment.
+  experiment;
+- builds degrade gracefully instead of hanging or cascading: an optional
+  per-request ``build_deadline`` answers ``504`` when a build exceeds it,
+  and a :class:`~repro.serve.breaker.CircuitBreaker` rejects new builds
+  with ``503`` + ``Retry-After`` after repeated failures — cache hits keep
+  being served throughout, and one successful probe build closes the
+  breaker again without a restart.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ from repro.experiments.orchestrator import (
 from repro.experiments.orchestrator import registry
 from repro.experiments.orchestrator.engine import _pool_execute
 from repro.experiments.orchestrator.spec import ExperimentSpec
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.metrics import ServiceMetrics
 
 #: Query parameters with transport meaning, never forwarded as experiment params.
@@ -133,6 +140,8 @@ class ResultService:
         executor: Executor,
         metrics: Optional[ServiceMetrics] = None,
         backend: Optional[str] = None,
+        build_deadline: Optional[float] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         """Args:
         cache: the content-addressed result cache to serve from.
@@ -142,16 +151,32 @@ class ResultService:
         metrics: shared counters; a private instance by default.
         backend: default compute-backend name for requests without an
             explicit ``?backend=``; ``None`` resolves the ambient default.
+        build_deadline: end-to-end seconds a request's build may take before
+            the request is answered ``504`` (the build itself is abandoned
+            to the executor's own policy); ``None`` waits forever.
+        breaker: circuit breaker gating new builds; a default-configured
+            instance when ``None``.
         """
         self.cache = cache
         self.executor = executor
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.build_deadline = build_deadline
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.default_backend = get_backend(backend).name
         self._inflight: Dict[str, "asyncio.Task[Tuple[ExperimentResult, str]]"] = {}
         # The registry is immutable for the process lifetime; build the
         # listing document once instead of re-running get_type_hints/asdict
         # over every spec per GET /experiments.
         self._experiments_document = self._describe_experiments()
+
+    # --------------------------------------------------------------- health
+
+    def health(self) -> Dict[str, Any]:
+        """The ``GET /healthz`` document: ``ok``, or ``degraded`` while the
+        breaker rejects builds (cached results still flow either way)."""
+        breaker_state = self.breaker.state
+        status = "ok" if breaker_state == "closed" else "degraded"
+        return {"status": status, "breaker": breaker_state}
 
     # ------------------------------------------------------------- registry
 
@@ -272,7 +297,7 @@ class ResultService:
         """
         task = self._inflight.get(prepared.key)
         if task is None:
-            task = asyncio.get_running_loop().create_task(self._load_or_build(prepared))
+            task = asyncio.get_running_loop().create_task(self._guarded_load(prepared))
             self._inflight[prepared.key] = task
             task.add_done_callback(lambda _t: self._inflight.pop(prepared.key, None))
         else:
@@ -286,6 +311,25 @@ class ResultService:
             self.metrics.cache_misses += 1
         return result, state
 
+    async def _guarded_load(
+        self, prepared: PreparedRequest
+    ) -> Tuple[ExperimentResult, str]:
+        """``_load_or_build`` that can never strand or poison the gate.
+
+        On failure the in-flight entry is removed *synchronously, before the
+        exception propagates* — the done-callback alone leaves a window in
+        which a request arriving between the failure and the callback joins
+        the already-failed task and receives a stale error even though a
+        fresh build would have succeeded.  Every current waiter still gets
+        the failure (they awaited this task); only future requests start
+        clean.
+        """
+        try:
+            return await self._load_or_build(prepared)
+        except BaseException:
+            self._inflight.pop(prepared.key, None)
+            raise
+
     async def _load_or_build(
         self, prepared: PreparedRequest
     ) -> Tuple[ExperimentResult, str]:
@@ -296,6 +340,18 @@ class ResultService:
 
     async def _build(self, prepared: PreparedRequest) -> ExperimentResult:
         loop = asyncio.get_running_loop()
+        if not self.breaker.allow_build():
+            # Repeated build failures opened the breaker: reject fast with a
+            # recovery hint instead of feeding another doomed build to the
+            # pool.  Cache hits never reach this point — only misses degrade.
+            self.metrics.builds_rejected += 1
+            raise ServeError(
+                503,
+                "experiment builds are temporarily disabled after repeated "
+                f"failures (breaker {self.breaker.state}); cached results "
+                "are still served",
+                headers=(("Retry-After", self.breaker.retry_after_header()),),
+            )
         self.metrics.builds += 1
         self.metrics.in_flight_builds += 1
         # One synchronous block, no await: the server swaps the memoized
@@ -304,18 +360,32 @@ class ResultService:
         executor = self.executor
         fingerprint = code_fingerprint()
         try:
-            document = await loop.run_in_executor(
+            future = loop.run_in_executor(
                 executor,
                 _pool_execute,
                 prepared.spec.experiment_id,
                 dict(prepared.params_doc),
                 prepared.backend,
             )
+            if self.build_deadline is not None:
+                try:
+                    document = await asyncio.wait_for(future, self.build_deadline)
+                except asyncio.TimeoutError:
+                    self.metrics.build_timeouts += 1
+                    raise ServeError(
+                        504,
+                        f"build of {prepared.spec.experiment_id!r} exceeded "
+                        f"the {self.build_deadline}s deadline",
+                    ) from None
+            else:
+                document = await future
         except Exception:
             self.metrics.build_failures += 1
+            self.breaker.record_failure()
             raise
         finally:
             self.metrics.in_flight_builds -= 1
+        self.breaker.record_success()
         result = ExperimentResult.from_dict(document)
         store_key = prepared.key
         if fingerprint != prepared.fingerprint:

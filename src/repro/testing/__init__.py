@@ -1,0 +1,34 @@
+"""Test-support machinery that ships with the library.
+
+Currently one module: :mod:`repro.testing.chaos`, the env-driven
+fault-injection harness the resilience layer is tested against.  It lives in
+``src`` (not ``tests/``) because worker *processes* must be able to import it
+— a chaos checkpoint fires inside pool workers and inside the cache writer,
+wherever those run.
+"""
+
+from repro.testing.chaos import (
+    CHAOS_CRASH_EXIT_CODE,
+    CHAOS_ENV_VAR,
+    CHAOS_HANG_ENV_VAR,
+    CHAOS_ONCE_ENV_VAR,
+    CHAOS_SEED_ENV_VAR,
+    ChaosConfig,
+    ChaosRule,
+    active_chaos,
+    chaos_checkpoint,
+    reset_chaos,
+)
+
+__all__ = [
+    "CHAOS_CRASH_EXIT_CODE",
+    "CHAOS_ENV_VAR",
+    "CHAOS_HANG_ENV_VAR",
+    "CHAOS_ONCE_ENV_VAR",
+    "CHAOS_SEED_ENV_VAR",
+    "ChaosConfig",
+    "ChaosRule",
+    "active_chaos",
+    "chaos_checkpoint",
+    "reset_chaos",
+]

@@ -1,0 +1,230 @@
+"""Tests for the sharded campaign run and its bit-identity guarantees.
+
+The counter-based campaign RNG makes trial-range sharding exact: a shard
+computing trials ``[lo, lo+n)`` with ``trial_offset=lo`` draws precisely the
+uniforms the serial run draws for those trials, so shard sums reproduce the
+serial estimate bit-for-bit — even when workers are killed mid-run and
+shards are re-dispatched.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.backend import available_backends, get_backend
+from repro.core.exceptions import BackendError, FaultModelError
+from repro.faults.engine import (
+    BatchCampaignEngine,
+    ShardedCampaignRun,
+    _campaign_shard_worker,
+    merge_campaign_batches,
+    split_trial_ranges,
+)
+from repro.backend.base import CampaignBatchResult
+from repro.faults.scenarios import ecosystem_scenario
+from repro.testing.chaos import (
+    CHAOS_ENV_VAR,
+    CHAOS_ONCE_ENV_VAR,
+    reset_chaos,
+)
+
+TRIALS = 400
+SEED = 3
+
+SCENARIO = ecosystem_scenario(
+    ecosystem="default", population_size=24, seed=SEED, exploit_probability=0.6
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_chaos(monkeypatch):
+    monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+    monkeypatch.delenv(CHAOS_ONCE_ENV_VAR, raising=False)
+    reset_chaos()
+    yield
+    reset_chaos()
+
+
+def _engine(backend="python"):
+    return BatchCampaignEngine(
+        SCENARIO.population, SCENARIO.catalog, backend=backend
+    )
+
+
+class TestSplitTrialRanges:
+    def test_even_split(self):
+        assert split_trial_ranges(8, 4) == ((0, 2), (2, 2), (4, 2), (6, 2))
+
+    def test_remainder_goes_to_the_first_ranges(self):
+        assert split_trial_ranges(10, 4) == ((0, 3), (3, 3), (6, 2), (8, 2))
+
+    def test_more_shards_than_trials_drops_empty_ranges(self):
+        assert split_trial_ranges(5, 8) == ((0, 1), (1, 1), (2, 1), (3, 1), (4, 1))
+
+    def test_ranges_partition_the_trial_sequence(self):
+        ranges = split_trial_ranges(137, 6)
+        covered = []
+        for offset, count in ranges:
+            assert offset == len(covered)
+            covered.extend(range(offset, offset + count))
+        assert covered == list(range(137))
+
+    @pytest.mark.parametrize("trials,shards", [(0, 2), (-1, 2), (5, 0), (5, -3)])
+    def test_non_positive_arguments_raise(self, trials, shards):
+        with pytest.raises(FaultModelError):
+            split_trial_ranges(trials, shards)
+
+
+class TestMergeCampaignBatches:
+    def test_empty_merge_raises(self):
+        with pytest.raises(FaultModelError):
+            merge_campaign_batches([])
+
+    def test_width_mismatch_raises(self):
+        a = CampaignBatchResult(
+            trials=1, violations=0, compromised_total=0.0,
+            per_vulnerability_totals=(1.0, 2.0),
+        )
+        b = CampaignBatchResult(
+            trials=1, violations=0, compromised_total=0.0,
+            per_vulnerability_totals=(1.0,),
+        )
+        with pytest.raises(FaultModelError):
+            merge_campaign_batches([a, b])
+
+    def test_sums_counts_and_columns(self):
+        a = CampaignBatchResult(
+            trials=2, violations=1, compromised_total=3.0,
+            per_vulnerability_totals=(1.0, 2.0),
+        )
+        b = CampaignBatchResult(
+            trials=3, violations=2, compromised_total=4.5,
+            per_vulnerability_totals=(0.5, 1.5),
+        )
+        merged = merge_campaign_batches([a, b])
+        assert merged.trials == 5
+        assert merged.violations == 3
+        assert merged.compromised_total == 7.5
+        assert merged.per_vulnerability_totals == (1.5, 3.5)
+
+
+class TestTrialOffsetKernel:
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_offset_shards_reproduce_the_serial_batch(self, backend):
+        engine = _engine(backend)
+        serial = engine.estimate(trials=TRIALS, seed=SEED)
+        matrix = engine.matrix
+        exploited = matrix.vulnerability_ids
+        exposure_rows, probabilities = matrix.columns_for(exploited)
+        batches = []
+        for offset, count in split_trial_ranges(TRIALS, 5):
+            payload = _campaign_shard_worker(
+                backend,
+                exposure_rows,
+                matrix.powers,
+                probabilities,
+                count,
+                SEED,
+                serial.tolerated_fraction,
+                matrix.total_power,
+                offset,
+            )
+            batches.append(
+                CampaignBatchResult(
+                    trials=payload["trials"],
+                    violations=payload["violations"],
+                    compromised_total=payload["compromised_total"],
+                    per_vulnerability_totals=tuple(
+                        payload["per_vulnerability_totals"]
+                    ),
+                )
+            )
+        merged = merge_campaign_batches(batches)
+        assert merged.violations == serial.violations
+        assert merged.trials == serial.trials
+        assert merged.compromised_total == pytest.approx(
+            serial.mean_compromised_fraction * TRIALS * matrix.total_power
+        )
+
+    def test_negative_trial_offset_is_rejected(self):
+        engine = _engine("python")
+        matrix = engine.matrix
+        backend = get_backend("python")
+        exposure_rows, probabilities = matrix.columns_for(matrix.vulnerability_ids)
+        with pytest.raises(BackendError):
+            backend.campaign_trials(
+                backend.asarray_matrix(exposure_rows),
+                backend.asarray(matrix.powers),
+                probabilities,
+                trials=10,
+                seed=SEED,
+                tolerance=1 / 3,
+                total_power=matrix.total_power,
+                trial_offset=-1,
+            )
+
+
+class TestShardedCampaignRun:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 5])
+    def test_thread_sharded_estimate_is_bit_identical(self, workers):
+        engine = _engine("python")
+        serial = engine.estimate(trials=TRIALS, seed=SEED)
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            sharded = ShardedCampaignRun(
+                engine, max_workers=workers, executor=executor
+            ).estimate(trials=TRIALS, seed=SEED)
+        assert sharded == serial
+
+    @pytest.mark.parametrize("backend", available_backends())
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_process_sharded_estimate_is_bit_identical(self, backend, workers):
+        engine = _engine(backend)
+        serial = engine.estimate(trials=TRIALS, seed=SEED)
+        sharded = ShardedCampaignRun(engine, max_workers=workers).estimate(
+            trials=TRIALS, seed=SEED
+        )
+        assert sharded == serial
+
+    def test_vulnerability_subset_matches_serial(self):
+        engine = _engine("python")
+        subset = list(engine.matrix.vulnerability_ids[:3])
+        serial = engine.estimate(subset, trials=TRIALS, seed=SEED)
+        with ThreadPoolExecutor(max_workers=3) as executor:
+            sharded = ShardedCampaignRun(
+                engine, max_workers=3, executor=executor
+            ).estimate(subset, trials=TRIALS, seed=SEED)
+        assert sharded == serial
+
+    def test_nothing_exploitable_skips_the_pool(self):
+        engine = _engine("python")
+        serial = engine.estimate(trials=50, seed=SEED, time=-1.0)
+
+        class ExplodingExecutor:
+            def submit(self, *args, **kwargs):  # pragma: no cover - must not run
+                raise AssertionError("no shards should be submitted")
+
+        sharded = ShardedCampaignRun(
+            engine, max_workers=4, executor=ExplodingExecutor()
+        ).estimate(trials=50, seed=SEED, time=-1.0)
+        assert sharded == serial
+        assert sharded.exploited == ()
+
+    def test_invalid_worker_count_raises(self):
+        with pytest.raises(FaultModelError):
+            ShardedCampaignRun(_engine("python"), max_workers=0)
+
+    def test_killed_worker_changes_nothing(self, tmp_path, monkeypatch):
+        """A worker hard-killed mid-campaign is re-dispatched and the merged
+        estimate stays bit-identical to the fault-free serial run."""
+        engine = _engine("python")
+        serial = engine.estimate(trials=TRIALS, seed=SEED)
+        monkeypatch.setenv(CHAOS_ENV_VAR, "crash:1:1@task")
+        monkeypatch.setenv(CHAOS_ONCE_ENV_VAR, str(tmp_path / "once"))
+        # Forked workers re-read the env; the parent never hits a checkpoint.
+        reset_chaos()
+        sharded = ShardedCampaignRun(
+            engine, max_workers=2, retries=3
+        ).estimate(trials=TRIALS, seed=SEED)
+        assert sharded == serial

@@ -1,0 +1,126 @@
+"""Golden byte-equality under injected faults.
+
+The acceptance bar for the resilience layer: a parallel run whose workers
+are being hard-killed by the chaos harness must produce results that are
+*byte-identical* to a clean serial run. Retries may burn wall-clock, never
+bits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import cli
+from repro.experiments.orchestrator import registry
+from repro.experiments.orchestrator.engine import run_experiments
+from repro.testing.chaos import (
+    CHAOS_ENV_VAR,
+    CHAOS_ONCE_ENV_VAR,
+    reset_chaos,
+)
+
+FAST_IDS = ("example1", "proposition1", "protocol_safety")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_chaos(monkeypatch):
+    monkeypatch.delenv(CHAOS_ENV_VAR, raising=False)
+    monkeypatch.delenv(CHAOS_ONCE_ENV_VAR, raising=False)
+    reset_chaos()
+    yield
+    reset_chaos()
+
+
+def _specs():
+    return [registry.get_spec(experiment_id) for experiment_id in FAST_IDS]
+
+
+class TestEngineEquality:
+    def test_killed_workers_do_not_change_results(self, tmp_path, monkeypatch):
+        baseline = run_experiments(_specs())
+        monkeypatch.setenv(CHAOS_ENV_VAR, "crash:1:1@task")
+        monkeypatch.setenv(CHAOS_ONCE_ENV_VAR, str(tmp_path / "once"))
+        reset_chaos()  # forked workers re-read the env; the parent is serial
+        chaotic = run_experiments(
+            _specs(), parallel=True, max_workers=2, retries=3
+        )
+        assert [r.canonical_dict() for r in chaotic] == [
+            r.canonical_dict() for r in baseline
+        ]
+
+    def test_chaos_error_faults_are_retried_transparently(
+        self, tmp_path, monkeypatch
+    ):
+        baseline = run_experiments(_specs())
+        monkeypatch.setenv(CHAOS_ENV_VAR, "corrupt:1:2@task")
+        monkeypatch.setenv(CHAOS_ONCE_ENV_VAR, str(tmp_path / "once"))
+        reset_chaos()
+        chaotic = run_experiments(
+            _specs(), parallel=True, max_workers=2, retries=3
+        )
+        assert [r.canonical_dict() for r in chaotic] == [
+            r.canonical_dict() for r in baseline
+        ]
+
+
+class TestCliEquality:
+    def _results_section(self, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["schema_version"]
+        return json.dumps(document["results"], sort_keys=True)
+
+    def test_cli_results_are_byte_identical_under_chaos(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        serial_path = str(tmp_path / "serial.json")
+        chaos_path = str(tmp_path / "chaos.json")
+
+        code = cli.main(
+            [
+                "run",
+                *FAST_IDS,
+                "--quiet",
+                "--no-cache",
+                "--results",
+                serial_path,
+            ]
+        )
+        assert code == 0
+
+        monkeypatch.setenv(CHAOS_ENV_VAR, "crash:1:1@task")
+        monkeypatch.setenv(CHAOS_ONCE_ENV_VAR, str(tmp_path / "once"))
+        reset_chaos()
+        code = cli.main(
+            [
+                "run",
+                *FAST_IDS,
+                "--quiet",
+                "--no-cache",
+                "--parallel",
+                "--jobs",
+                "2",
+                "--retries",
+                "3",
+                "--results",
+                chaos_path,
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        assert self._results_section(chaos_path) == self._results_section(
+            serial_path
+        )
+        # At least one chaos once-token was actually claimed: the run we
+        # compared really did survive a fault.
+        tokens = os.listdir(str(tmp_path / "once"))
+        assert tokens
+
+    def test_negative_retries_is_a_usage_error(self, capsys):
+        code = cli.main(["run", "example1", "--quiet", "--retries", "-1"])
+        assert code == 2
+        assert "--retries" in capsys.readouterr().err

@@ -80,7 +80,7 @@ class TestRoutes:
 
         response = with_server(body)
         assert response.status == 200
-        assert json.loads(response.body) == {"status": "ok"}
+        assert json.loads(response.body) == {"status": "ok", "breaker": "closed"}
 
     def test_experiments_listing(self):
         async def body(server, client):

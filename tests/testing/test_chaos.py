@@ -1,0 +1,213 @@
+"""Tests for the env-driven chaos-injection harness.
+
+Everything that can be verified in-process is (rule parsing, caps, the
+deterministic decision stream, once-tokens); the ``crash`` kind is verified
+in a subprocess because it is a real ``os._exit`` — the whole point.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.exceptions import ChaosError, ReproError
+from repro.testing.chaos import (
+    CHAOS_CRASH_EXIT_CODE,
+    CHAOS_ENV_VAR,
+    CHAOS_HANG_ENV_VAR,
+    CHAOS_ONCE_ENV_VAR,
+    CHAOS_SEED_ENV_VAR,
+    ChaosConfig,
+    active_chaos,
+    chaos_checkpoint,
+    reset_chaos,
+)
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_chaos(monkeypatch):
+    """Each test starts and ends with a pristine, inactive configuration."""
+    for name in (
+        CHAOS_ENV_VAR,
+        CHAOS_SEED_ENV_VAR,
+        CHAOS_HANG_ENV_VAR,
+        CHAOS_ONCE_ENV_VAR,
+    ):
+        monkeypatch.delenv(name, raising=False)
+    reset_chaos()
+    yield
+    reset_chaos()
+
+
+class TestParse:
+    def test_single_rule_with_defaults(self):
+        config = ChaosConfig.parse("crash:0.2")
+        (rule,) = config.rules
+        assert rule.kind == "crash"
+        assert rule.probability == 0.2
+        assert rule.max_injections is None
+        assert rule.site == "task"
+
+    def test_explicit_site_and_cap(self):
+        config = ChaosConfig.parse("corrupt:1:2@cache-write")
+        (rule,) = config.rules
+        assert rule.kind == "corrupt"
+        assert rule.probability == 1.0
+        assert rule.max_injections == 2
+        assert rule.site == "cache-write"
+
+    def test_multiple_rules_and_blank_segments(self):
+        config = ChaosConfig.parse("crash:0.1, hang:0.5@task, ,corrupt:1@cache-write")
+        assert [rule.kind for rule in config.rules] == ["crash", "hang", "corrupt"]
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "explode:1",  # unknown kind
+            "crash",  # missing probability
+            "crash:lots",  # non-numeric probability
+            "crash:1.5",  # probability out of range
+            "crash:-0.1",  # probability out of range
+            "crash:1:x",  # non-integer cap
+            "crash:1:-1",  # negative cap
+            "crash:1:2:3",  # too many fields
+            ":1",  # empty kind
+        ],
+    )
+    def test_malformed_rules_raise(self, spec):
+        with pytest.raises(ReproError):
+            ChaosConfig.parse(spec)
+
+    def test_zero_probability_rule_is_inactive(self):
+        assert not ChaosConfig.parse("crash:0").active
+        assert ChaosConfig.parse("crash:0.01").active
+
+
+class TestFromEnv:
+    def test_unset_environment_is_inactive(self):
+        config = ChaosConfig.from_env({})
+        assert config.rules == ()
+        assert not config.active
+
+    def test_environment_variables_are_read(self, tmp_path):
+        config = ChaosConfig.from_env(
+            {
+                CHAOS_ENV_VAR: "hang:1@task",
+                CHAOS_SEED_ENV_VAR: "99",
+                CHAOS_HANG_ENV_VAR: "0.25",
+                CHAOS_ONCE_ENV_VAR: str(tmp_path / "once"),
+            }
+        )
+        assert config.seed == 99
+        assert config.hang_seconds == 0.25
+        assert config.once_dir == str(tmp_path / "once")
+
+    def test_active_chaos_is_memoized_until_reset(self, monkeypatch):
+        assert not active_chaos().active
+        monkeypatch.setenv(CHAOS_ENV_VAR, "corrupt:1")
+        # Memoized: the env change is invisible until reset_chaos().
+        assert not active_chaos().active
+        reset_chaos()
+        assert active_chaos().active
+
+
+class TestInject:
+    def test_corrupt_at_task_site_raises_chaos_error(self):
+        config = ChaosConfig.parse("corrupt:1")
+        with pytest.raises(ChaosError):
+            config.inject("task", key="t1")
+
+    def test_corrupt_at_cache_write_is_returned_to_the_caller(self):
+        config = ChaosConfig.parse("corrupt:1@cache-write")
+        assert config.inject("cache-write", key="k") == "corrupt"
+
+    def test_site_mismatch_never_fires(self):
+        config = ChaosConfig.parse("corrupt:1@cache-write")
+        assert config.inject("task", key="t") is None
+
+    def test_per_process_cap_bounds_injections(self):
+        config = ChaosConfig.parse("corrupt:1:2")
+        for _ in range(2):
+            with pytest.raises(ChaosError):
+                config.inject("task")
+        assert config.inject("task") is None
+        assert config.inject("task") is None
+
+    def test_decision_stream_is_deterministic_for_a_seed(self):
+        def decisions(seed):
+            config = ChaosConfig.parse("corrupt:0.5@cache-write", seed=seed)
+            return [config.inject("cache-write") for _ in range(32)]
+
+        first = decisions(7)
+        assert decisions(7) == first
+        assert any(value == "corrupt" for value in first)
+        assert any(value is None for value in first)
+        assert decisions(8) != first
+
+    def test_hang_sleeps_the_configured_duration(self):
+        config = ChaosConfig.parse("hang:1", hang_seconds=0.05)
+        started = time.monotonic()
+        assert config.inject("task") is None
+        assert time.monotonic() - started >= 0.04
+
+    def test_once_tokens_are_claimed_across_configs(self, tmp_path):
+        once = str(tmp_path / "once")
+        first = ChaosConfig.parse("corrupt:1", once_dir=once)
+        with pytest.raises(ChaosError):
+            first.inject("task", key="shard-0")
+        # A "different process" sharing the directory: the token is taken.
+        second = ChaosConfig.parse("corrupt:1", once_dir=once)
+        assert second.inject("task", key="shard-0") is None
+        # A different key is a different token.
+        with pytest.raises(ChaosError):
+            second.inject("task", key="shard-1")
+
+    def test_checkpoint_is_a_no_op_without_chaos(self):
+        assert chaos_checkpoint("task", key="anything") is None
+
+
+class TestCrashKind:
+    def test_crash_kills_the_process_with_the_chaos_exit_code(self, tmp_path):
+        script = (
+            "from repro.testing.chaos import chaos_checkpoint\n"
+            "chaos_checkpoint('task', key='victim')\n"
+            "print('survived')\n"
+        )
+        env = dict(os.environ)
+        env[CHAOS_ENV_VAR] = "crash:1"
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert completed.returncode == CHAOS_CRASH_EXIT_CODE
+        assert "survived" not in completed.stdout
+
+    def test_crash_with_once_token_fires_exactly_once(self, tmp_path):
+        script = (
+            "from repro.testing.chaos import chaos_checkpoint\n"
+            "chaos_checkpoint('task', key='victim')\n"
+            "print('survived')\n"
+        )
+        env = dict(os.environ)
+        env[CHAOS_ENV_VAR] = "crash:1"
+        env[CHAOS_ONCE_ENV_VAR] = str(tmp_path / "once")
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        first = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True, text=True, timeout=60
+        )
+        second = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True, text=True, timeout=60
+        )
+        assert first.returncode == CHAOS_CRASH_EXIT_CODE
+        assert second.returncode == 0
+        assert "survived" in second.stdout
