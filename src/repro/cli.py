@@ -9,12 +9,16 @@ Eight subcommands cover the common workflows without writing Python:
   and golden-snapshot regeneration;
 - ``serve``    — host the asyncio HTTP result service: experiment results as
   canonical JSON straight from the content-addressed cache, computed on miss
-  on a bounded process pool (``/experiments``, ``/experiments/{id}``,
-  ``/healthz``, ``/metrics``);
+  on a bounded process pool; reads (``/experiments``, ``/experiments/{id}``),
+  writes (``POST /jobs``, ``/jobs/{id}``, bulk ``/results`` with NDJSON
+  streaming), cache admin (``/cache/stats|prune|invalidate|warm``), plus
+  ``/healthz`` and ``/metrics``;
 - ``bench-serve`` — load-test the result service and write the
-  ``BENCH_4.json`` throughput snapshot;
-- ``cache``    — inspect or shrink the result cache (``--stats``,
-  ``--prune`` stale fingerprints and leaked temp files, ``--clear``);
+  throughput snapshot (``BENCH_4.json``; ``--write-ratio`` adds the mixed
+  read/write phase recorded as ``BENCH_7.json`` in CI);
+- ``cache``    — inspect, shrink or prime the result cache (``--stats``,
+  ``--prune`` stale fingerprints and leaked temp files, ``--clear``,
+  ``--warm`` to batch-compute registry experiments into the cache);
 - ``entropy``  — quick diversity analysis of a voting-power distribution given
   as ``name=power`` pairs (e.g. mining-pool shares), reporting the Shannon
   entropy, the full diversity profile and which protocol tolerances a single
@@ -40,7 +44,9 @@ Examples::
     python -m repro.cli run --all --update-golden
     python -m repro.cli serve --port 8000 --jobs 4
     python -m repro.cli bench-serve --requests 500 --output BENCH_4.json
+    python -m repro.cli bench-serve --write-ratio 0.25 --output BENCH_7.json
     python -m repro.cli cache --stats
+    python -m repro.cli cache --warm --tag monte-carlo --jobs 4
     python -m repro.cli entropy foundry=34.2 antpool=20.0 f2pool=13.0 rest=32.8
     python -m repro.cli backends
     python -m repro.cli bench --trials 10000 --configs 1000 --output BENCH_1.json
@@ -331,6 +337,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "one (a warm directory skews the cold phase)",
     )
     bench_serve_parser.add_argument(
+        "--write-ratio",
+        type=float,
+        default=0.0,
+        metavar="RATIO",
+        help="add a mixed phase where this fraction of requests are "
+        "synchronous POST /jobs submissions (default: 0 — reads only)",
+    )
+    bench_serve_parser.add_argument(
         "--output",
         metavar="PATH",
         default=None,
@@ -338,7 +352,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect or shrink the content-addressed result cache"
+        "cache",
+        help="inspect, shrink or prime the content-addressed result cache",
+    )
+    cache_parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="with --warm: restrict priming to these experiments "
+        "(default: the whole registry)",
     )
     cache_action = cache_parser.add_mutually_exclusive_group()
     cache_action.add_argument(
@@ -353,6 +375,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cache_action.add_argument(
         "--clear", action="store_true", help="delete every cache entry"
+    )
+    cache_action.add_argument(
+        "--warm",
+        action="store_true",
+        help="walk the registry and compute every missing result into the "
+        "cache, so a server starting on this directory serves hits only",
+    )
+    cache_parser.add_argument(
+        "--tag",
+        action="append",
+        default=None,
+        metavar="TAG",
+        help="with --warm: only experiments carrying this tag "
+        "(repeatable; OR semantics)",
+    )
+    cache_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="with --warm: compute misses on a process pool of this size",
     )
     cache_parser.add_argument(
         "--cache-dir",
@@ -615,7 +658,10 @@ def _command_serve(arguments: argparse.Namespace) -> int:
             f"serving experiment results on {server.url} "
             f"({server.jobs} pool workers, cache: {server.service.cache.directory})"
         )
-        print("routes: /experiments  /experiments/{id}  /healthz  /metrics")
+        print(
+            "routes: /experiments  /experiments/{id}  /jobs  /jobs/{id}  "
+            "/results  /cache/*  /healthz  /metrics"
+        )
         try:
             await server.serve_forever()
         finally:
@@ -658,11 +704,16 @@ def _command_bench_serve(arguments: argparse.Namespace) -> int:
             f"{arguments.requests} requests x {arguments.concurrency} connections"
         )
         table = Table(headers=("phase", "requests", "seconds", "req/sec", "statuses"))
-        for label, phase in (
+        phases = [
             ("cold (miss+build)", report.cold),
             ("warm (cache hits)", report.warm),
             ("conditional (304)", report.conditional),
-        ):
+        ]
+        if report.mixed is not None:
+            phases.append(
+                (f"mixed ({report.write_ratio:.0%} writes)", report.mixed)
+            )
+        for label, phase in phases:
             table.add_row(
                 label,
                 phase.requests,
@@ -696,6 +747,7 @@ async def _run_bench_serve(arguments, cache_dir, experiment_ids):
             experiment_ids,
             requests=arguments.requests,
             concurrency=arguments.concurrency,
+            write_ratio=arguments.write_ratio,
         )
     finally:
         await server.stop()
@@ -703,6 +755,16 @@ async def _run_bench_serve(arguments, cache_dir, experiment_ids):
 
 def _command_cache(arguments: argparse.Namespace) -> int:
     cache = ResultCache(arguments.cache_dir)
+    if not arguments.warm and (
+        arguments.experiments or arguments.tag or arguments.jobs
+    ):
+        print(
+            "error: EXPERIMENT arguments, --tag and --jobs only apply to --warm",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.warm:
+        return _warm_cache(arguments, cache)
     if arguments.clear:
         report = cache.clear()
         print(
@@ -727,6 +789,47 @@ def _command_cache(arguments: argparse.Namespace) -> int:
     table.add_row("leaked temp files (prunable)", stats.temp_files)
     table.add_row("total bytes", stats.total_bytes)
     print(table.render())
+    return 0
+
+
+def _warm_cache(arguments: argparse.Namespace, cache: ResultCache) -> int:
+    """Batch-prime the cache: compute every missing registry result.
+
+    The keys are the same content hashes the serve layer derives, so a
+    server started on this directory afterwards answers the whole selection
+    from cache — this is how CI (and operators) front-load the expensive
+    builds before traffic arrives.
+    """
+    # Key for the source as it is now, not the import-time memo.
+    invalidate_code_fingerprint()
+    try:
+        selected = filter_specs(
+            registry.all_specs(),
+            names=list(arguments.experiments),
+            tags=tuple(arguments.tag or ()),
+        )
+    except OrchestrationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    backend_name = get_backend().name
+    cached_before = sum(
+        1
+        for spec in selected
+        if cache.load(cache.key_for(spec, spec.params_dict(), backend_name))
+        is not None
+    )
+    run_experiments(
+        selected,
+        backend=backend_name,
+        parallel=arguments.jobs is not None and arguments.jobs > 1,
+        max_workers=arguments.jobs,
+        cache=cache,
+    )
+    print(
+        f"warmed {cache.directory}: {len(selected) - cached_before} "
+        f"result(s) computed, {cached_before} already cached "
+        f"({len(selected)} selected, backend: {backend_name})"
+    )
     return 0
 
 

@@ -279,6 +279,20 @@ class ResultCache:
             ) from error
         return path
 
+    def invalidate(self, key: str) -> bool:
+        """Delete the committed entry for ``key``; ``True`` when one existed.
+
+        The targeted counterpart to :meth:`prune`: a caller that knows one
+        specific result is unwanted (an operator retiring a parameter point
+        through the cache-admin API) drops exactly that entry without
+        touching the rest of the directory.
+        """
+        if not key or "/" in key or os.sep in key:
+            # Keys are hex digests; anything else must not be able to reach
+            # outside the cache directory through _path().
+            return False
+        return self._remove(self._path(key))
+
     def __len__(self) -> int:
         """Number of committed (non-temporary) entries on disk."""
         try:
@@ -407,7 +421,15 @@ class ResultCache:
         )
 
     def clear(self) -> PruneReport:
-        """Delete every entry and temp file, live or not."""
+        """Delete every committed entry (live or stale) and leaked temp file.
+
+        Fresh ``.tmp-*`` files are left alone even here: a young temp file is
+        a :meth:`store` in flight somewhere (possibly another process), and
+        unlinking it would make that writer's ``os.replace`` raise — a
+        ``clear`` must never convert a concurrent write into an
+        :class:`~repro.core.exceptions.OrchestrationError`.  The same age
+        rule as :meth:`prune` applies, so abandoned temps are still reaped.
+        """
         removed = temps = freed = 0
         try:
             names = os.listdir(self.directory)
@@ -415,15 +437,20 @@ class ResultCache:
             names = []
         for name in names:
             path = os.path.join(self.directory, name)
-            if not (self._is_temp(name) or self._is_entry(name)):
+            if self._is_temp(name):
+                if not self._is_leaked_temp(name, path):
+                    continue
+                size = self._size_of(path)
+                if self._remove(path):
+                    temps += 1
+                    freed += size
+                continue
+            if not self._is_entry(name):
                 continue
             size = self._size_of(path)
             if self._remove(path):
+                removed += 1
                 freed += size
-                if self._is_temp(name):
-                    temps += 1
-                else:
-                    removed += 1
         return PruneReport(
             directory=self.directory,
             removed_entries=removed,

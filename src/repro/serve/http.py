@@ -2,16 +2,18 @@
 
 The result service deliberately depends on nothing beyond the standard
 library, so this module implements the narrow slice of HTTP it needs:
-GET request lines, a bounded header block, percent-decoded paths, query
-strings, keep-alive and ``If-None-Match``/``ETag`` handling.  Anything
-outside that slice (bodies, chunked encoding, upgrades) is rejected up
-front with a 400/405/431 rather than half-parsed.
+GET/POST request lines, a bounded header block, ``Content-Length`` request
+bodies (bounded, for the write-path endpoints), percent-decoded paths,
+query strings, keep-alive, ``If-None-Match``/``ETag`` handling, and
+chunked ``Transfer-Encoding`` responses for NDJSON result streams.
+Anything outside that slice (chunked *request* bodies, upgrades) is
+rejected up front with a 400/413/431 rather than half-parsed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import AsyncIterator, Dict, List, Mapping, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, unquote, urlsplit
 
 import asyncio
@@ -24,13 +26,20 @@ MAX_LINE_BYTES = 8192
 #: Upper bound on the number of header lines in one request.
 MAX_HEADER_COUNT = 100
 
+#: Upper bound on a request body (job submissions and bulk-result
+#: selections are small JSON documents; anything bigger is a client bug).
+MAX_BODY_BYTES = 1 << 20
+
 #: Reason phrases for every status the service emits.
 REASON_PHRASES = {
     200: "OK",
+    202: "Accepted",
     304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Content Too Large",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -40,7 +49,8 @@ REASON_PHRASES = {
 
 @dataclass(frozen=True)
 class HttpRequest:
-    """One parsed request: method, decoded path, query multi-dict, headers."""
+    """One parsed request: method, decoded path, query multi-dict, headers,
+    and (for the write-path endpoints) the raw request body."""
 
     method: str
     target: str
@@ -48,6 +58,7 @@ class HttpRequest:
     query: Mapping[str, List[str]]
     version: str
     headers: Mapping[str, str]
+    body: bytes = b""
 
     def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
         """A header value by case-insensitive name."""
@@ -88,6 +99,47 @@ class HttpResponse:
         if head_only or self.status == 304:
             return head
         return head + self.body
+
+
+@dataclass
+class StreamingHttpResponse:
+    """A response whose body arrives incrementally (NDJSON result streams).
+
+    The body is an async iterator of byte chunks; the connection handler
+    frames each chunk with HTTP/1.1 chunked ``Transfer-Encoding`` so the
+    client can consume results as they are computed, without the server ever
+    holding a whole sweep in memory.  Content-Length is unknowable up front,
+    which is exactly what chunked framing exists for.
+    """
+
+    status: int
+    chunks: AsyncIterator[bytes]
+    content_type: str = "application/x-ndjson"
+    headers: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+    def encode_head(self, *, keep_alive: bool = True) -> bytes:
+        """The status line and headers announcing a chunked body."""
+        reason = REASON_PHRASES.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            "Transfer-Encoding: chunked",
+        ]
+        for name, value in self.headers:
+            lines.append(f"{name}: {value}")
+        lines.append("Connection: " + ("keep-alive" if keep_alive else "close"))
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """One chunked-transfer frame (empty input encodes to nothing)."""
+    if not data:
+        return b""
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+
+
+#: The terminating frame of a chunked response body.
+LAST_CHUNK = b"0\r\n\r\n"
 
 
 async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
@@ -135,6 +187,29 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
     else:
         raise ServeError(431, "too many header lines")
 
+    if "transfer-encoding" in headers:
+        # Chunked request bodies are outside this server's HTTP slice; a
+        # half-parsed one would desynchronize the keep-alive stream.
+        raise ServeError(400, "chunked request bodies are not supported")
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ServeError(400, f"malformed Content-Length: {raw_length!r}") from None
+        if length < 0:
+            raise ServeError(400, f"malformed Content-Length: {raw_length!r}")
+        if length > MAX_BODY_BYTES:
+            raise ServeError(
+                413, f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as error:
+                raise ServeError(400, "truncated request body") from error
+
     split = urlsplit(target)
     return HttpRequest(
         method=method,
@@ -143,6 +218,7 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
         query=parse_qs(split.query, keep_blank_values=True),
         version=version,
         headers=headers,
+        body=body,
     )
 
 

@@ -1,8 +1,8 @@
 """Load generator and throughput snapshot for the result service.
 
 ``repro.cli bench-serve`` starts a server on an ephemeral port, drives it
-with this module's asyncio client, and records a three-phase throughput
-report (the ``BENCH_4.json`` CI artifact):
+with this module's asyncio client, and records a phased throughput report
+(the ``BENCH_4.json``/``BENCH_7.json`` CI artifacts):
 
 - **cold** — one request per experiment against an empty cache: every
   response is a miss that pays for a real computation;
@@ -11,9 +11,13 @@ report (the ``BENCH_4.json`` CI artifact):
   path;
 - **conditional** — the same fan-out with ``If-None-Match`` set to the
   ETags collected in the cold phase: every response is a ``304`` that
-  touches no disk at all.
+  touches no disk at all;
+- **mixed** (``write_ratio > 0``) — the same fan-out with every
+  ``1/write_ratio``-th request replaced by a synchronous ``POST /jobs``
+  submission, measuring how the write path rides alongside cached reads.
 
-The client is stdlib-only (``asyncio.open_connection``) like the server.
+The client is stdlib-only (``asyncio.open_connection``) like the server,
+and understands both ``Content-Length`` and chunked response bodies.
 """
 
 from __future__ import annotations
@@ -26,8 +30,9 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.exceptions import ServeError
 
-#: Schema version of the ``BENCH_4.json`` snapshot document.
-SERVE_SNAPSHOT_VERSION = 1
+#: Schema version of the serve-bench snapshot document (2: mixed
+#: read/write phase and the ``write_ratio`` workload field).
+SERVE_SNAPSHOT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -43,7 +48,7 @@ class ClientResponse:
 
 
 class BenchClient:
-    """One keep-alive connection issuing sequential GET requests."""
+    """One keep-alive connection issuing sequential requests."""
 
     def __init__(self, host: str, port: int) -> None:
         self.host = host
@@ -72,12 +77,36 @@ class BenchClient:
         self, path: str, headers: Optional[Mapping[str, str]] = None
     ) -> ClientResponse:
         """Issue one GET and read the full response."""
+        return await self.request("GET", path, headers=headers)
+
+    async def post(
+        self,
+        path: str,
+        document: object,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> ClientResponse:
+        """Issue one POST with a JSON body and read the full response."""
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        return await self.request("POST", path, headers=headers, body=body)
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        headers: Optional[Mapping[str, str]] = None,
+        body: bytes = b"",
+    ) -> ClientResponse:
+        """Issue one request and read the full response (chunked or not)."""
         if self._reader is None or self._writer is None:
             raise ServeError(500, "client connection is not open")
-        lines = [f"GET {path} HTTP/1.1", f"Host: {self.host}:{self.port}"]
+        lines = [f"{method} {path} HTTP/1.1", f"Host: {self.host}:{self.port}"]
         for name, value in (headers or {}).items():
             lines.append(f"{name}: {value}")
-        self._writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        if body or method == "POST":
+            lines.append("Content-Type: application/json")
+            lines.append(f"Content-Length: {len(body)}")
+        self._writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
         await self._writer.drain()
 
         status_line = (await self._reader.readline()).decode("latin-1").strip()
@@ -92,9 +121,32 @@ class BenchClient:
                 break
             name, _, value = line.partition(":")
             response_headers[name.strip().lower()] = value.strip()
-        length = int(response_headers.get("content-length", "0"))
-        body = await self._reader.readexactly(length) if length else b""
-        return ClientResponse(status=status, headers=response_headers, body=body)
+        if response_headers.get("transfer-encoding", "").lower() == "chunked":
+            payload = await self._read_chunked_body()
+        else:
+            length = int(response_headers.get("content-length", "0"))
+            payload = await self._reader.readexactly(length) if length else b""
+        return ClientResponse(status=status, headers=response_headers, body=payload)
+
+    async def _read_chunked_body(self) -> bytes:
+        """Decode a chunked ``Transfer-Encoding`` response body."""
+        assert self._reader is not None
+        chunks: List[bytes] = []
+        while True:
+            size_line = (await self._reader.readline()).decode("latin-1").strip()
+            try:
+                size = int(size_line.split(";", 1)[0], 16)
+            except ValueError:
+                raise ServeError(
+                    500, f"malformed chunk size from server: {size_line!r}"
+                ) from None
+            if size == 0:
+                # Trailer section: read lines until the terminating blank one.
+                while (await self._reader.readline()).strip():
+                    pass
+                return b"".join(chunks)
+            chunks.append(await self._reader.readexactly(size))
+            await self._reader.readexactly(2)  # the chunk's trailing CRLF
 
 
 @dataclass
@@ -130,7 +182,7 @@ class PhaseStats:
 
 @dataclass(frozen=True)
 class ServeBenchReport:
-    """All three phases plus the workload that produced them."""
+    """All bench phases plus the workload that produced them."""
 
     experiments: Tuple[str, ...]
     requests: int
@@ -139,8 +191,17 @@ class ServeBenchReport:
     cold: PhaseStats
     warm: PhaseStats
     conditional: PhaseStats
+    write_ratio: float = 0.0
+    mixed: Optional[PhaseStats] = None
 
     def as_dict(self) -> Dict[str, object]:
+        phases: Dict[str, object] = {
+            "cold_misses": self.cold.as_dict(),
+            "warm_hits": self.warm.as_dict(),
+            "conditional_304": self.conditional.as_dict(),
+        }
+        if self.mixed is not None:
+            phases["mixed_read_write"] = self.mixed.as_dict()
         return {
             "version": SERVE_SNAPSHOT_VERSION,
             "benchmark": "result_service",
@@ -149,12 +210,9 @@ class ServeBenchReport:
                 "requests": self.requests,
                 "concurrency": self.concurrency,
                 "backend": self.backend,
+                "write_ratio": self.write_ratio,
             },
-            "phases": {
-                "cold_misses": self.cold.as_dict(),
-                "warm_hits": self.warm.as_dict(),
-                "conditional_304": self.conditional.as_dict(),
-            },
+            "phases": phases,
         }
 
 
@@ -192,6 +250,59 @@ async def _fan_out(
     return stats
 
 
+async def _mixed_fan_out(
+    host: str,
+    port: int,
+    experiment_ids: Sequence[str],
+    *,
+    requests: int,
+    concurrency: int,
+    write_ratio: float,
+    backend: Optional[str],
+) -> PhaseStats:
+    """The mixed phase: every ``stride``-th request is a synchronous
+    ``POST /jobs`` submission, the rest are warm GETs.
+
+    Submissions use ``"wait": true`` so one bench request measures a whole
+    write round-trip; against the warmed cache that round-trip is the
+    write-path overhead itself (job bookkeeping plus the single-flight
+    lookup), not a recomputation.
+    """
+    stats = PhaseStats()
+    stride = max(1, round(1 / write_ratio))
+    suffix = f"?backend={backend}" if backend else ""
+    counter = iter(range(requests))
+
+    async def worker() -> List[ClientResponse]:
+        responses: List[ClientResponse] = []
+        async with BenchClient(host, port) as client:
+            for sequence in counter:
+                experiment_id = experiment_ids[sequence % len(experiment_ids)]
+                if sequence % stride == 0:
+                    document: Dict[str, object] = {
+                        "experiment": experiment_id,
+                        "wait": True,
+                    }
+                    if backend:
+                        document["backend"] = backend
+                    responses.append(await client.post("/jobs", document))
+                else:
+                    responses.append(
+                        await client.get(f"/experiments/{experiment_id}{suffix}")
+                    )
+        return responses
+
+    start = time.perf_counter()
+    all_responses = await asyncio.gather(
+        *(worker() for _ in range(max(1, min(concurrency, requests))))
+    )
+    stats.seconds = time.perf_counter() - start
+    for responses in all_responses:
+        for response in responses:
+            stats.record(response)
+    return stats
+
+
 async def run_serve_bench(
     host: str,
     port: int,
@@ -200,12 +311,15 @@ async def run_serve_bench(
     requests: int = 200,
     concurrency: int = 8,
     backend: Optional[str] = None,
+    write_ratio: float = 0.0,
 ) -> ServeBenchReport:
-    """Drive a running server through the three phases and report."""
+    """Drive a running server through the bench phases and report."""
     if not experiment_ids:
         raise ServeError(400, "bench-serve needs at least one experiment")
     if requests < 1 or concurrency < 1:
         raise ServeError(400, "requests and concurrency must be >= 1")
+    if not 0.0 <= write_ratio <= 1.0:
+        raise ServeError(400, f"write ratio must be in [0, 1], got {write_ratio}")
     suffix = f"?backend={backend}" if backend else ""
     paths = [f"/experiments/{experiment_id}{suffix}" for experiment_id in experiment_ids]
 
@@ -232,6 +346,17 @@ async def run_serve_bench(
         concurrency=concurrency,
         headers_for={path: {"If-None-Match": etag} for path, etag in etags.items()},
     )
+    mixed: Optional[PhaseStats] = None
+    if write_ratio > 0:
+        mixed = await _mixed_fan_out(
+            host,
+            port,
+            list(experiment_ids),
+            requests=requests,
+            concurrency=concurrency,
+            write_ratio=write_ratio,
+            backend=backend,
+        )
     return ServeBenchReport(
         experiments=tuple(experiment_ids),
         requests=requests,
@@ -240,11 +365,13 @@ async def run_serve_bench(
         cold=cold,
         warm=warm,
         conditional=conditional,
+        write_ratio=write_ratio,
+        mixed=mixed,
     )
 
 
 def write_serve_snapshot(report: ServeBenchReport, path: str) -> None:
-    """Write the ``BENCH_4.json`` throughput snapshot."""
+    """Write the serve-bench throughput snapshot (``BENCH_*.json``)."""
     try:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(report.as_dict(), handle, indent=2, sort_keys=False)

@@ -38,6 +38,13 @@ class ServiceMetrics:
         in_flight_requests: requests currently being handled.
         in_flight_builds: computations currently in the process pool.
         fingerprint_refreshes: source edits the refresh loop picked up.
+        jobs_submitted: jobs accepted through ``POST /jobs``.
+        jobs_completed: jobs whose every task finished successfully.
+        jobs_failed: jobs that ended with at least one failed task.
+        bulk_results_served: individual results delivered through the bulk
+            ``/results`` endpoint (JSON document entries plus NDJSON lines).
+        cache_admin_ops: cache-administration requests handled
+            (``/cache/stats|prune|invalidate|warm``).
     """
 
     started_at: float = field(default_factory=time.time)
@@ -55,6 +62,11 @@ class ServiceMetrics:
     in_flight_requests: int = 0
     in_flight_builds: int = 0
     fingerprint_refreshes: int = 0
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    bulk_results_served: int = 0
+    cache_admin_ops: int = 0
     _sections: Dict[str, Callable[[], Dict[str, Any]]] = field(
         default_factory=dict, repr=False
     )
@@ -95,6 +107,11 @@ class ServiceMetrics:
             "in_flight_requests": self.in_flight_requests,
             "in_flight_builds": self.in_flight_builds,
             "fingerprint_refreshes": self.fingerprint_refreshes,
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "bulk_results_served": self.bulk_results_served,
+            "cache_admin_ops": self.cache_admin_ops,
         }
         for name, provider in self._sections.items():
             document[name] = provider()

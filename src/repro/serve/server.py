@@ -33,7 +33,8 @@ from repro.serve.breaker import (
     DEFAULT_RESET_TIMEOUT,
     CircuitBreaker,
 )
-from repro.serve.http import read_request
+from repro.serve.http import LAST_CHUNK, StreamingHttpResponse, encode_chunk, read_request
+from repro.serve.jobs import DEFAULT_JOB_HISTORY, JobStore
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.service import ResultService
 
@@ -67,6 +68,7 @@ class ResultServer:
         build_retries: int = 0,
         breaker_threshold: int = DEFAULT_FAILURE_THRESHOLD,
         breaker_reset: float = DEFAULT_RESET_TIMEOUT,
+        job_history: int = DEFAULT_JOB_HISTORY,
     ) -> None:
         """Args:
         host: interface to bind.
@@ -90,6 +92,8 @@ class ResultServer:
         breaker_threshold: consecutive build failures that open the
             circuit breaker (serve ``503`` + ``Retry-After``).
         breaker_reset: seconds an open breaker waits before probing.
+        job_history: finished ``POST /jobs`` submissions retained for
+            status polling.
         """
         self.host = host
         self.requested_port = port
@@ -104,6 +108,7 @@ class ResultServer:
         self.breaker = CircuitBreaker(
             failure_threshold=breaker_threshold, reset_timeout=breaker_reset
         )
+        self.job_store = JobStore(history_limit=job_history)
         self.service: Optional[ResultService] = None
         self.app: Optional[ResultApp] = None
         self._executor: Optional[ResilientExecutor] = None
@@ -142,7 +147,15 @@ class ResultServer:
             build_deadline=self.build_deadline,
             breaker=self.breaker,
         )
-        self.app = ResultApp(self.service, self.metrics)
+        self.metrics.attach_section("jobs", self.job_store.counts)
+        self.app = ResultApp(
+            self.service,
+            self.metrics,
+            jobs=self.job_store,
+            # The admin plane's fingerprint refresh goes through the same
+            # path as the periodic loop, so the pool recycle comes with it.
+            refresh=self.refresh_now,
+        )
         try:
             self._server = await asyncio.start_server(
                 self._handle_connection, host=self.host, port=self.requested_port
@@ -176,6 +189,10 @@ class ResultServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.app is not None:
+            # Cancel in-flight job runs before the pool goes away; their
+            # jobs are marked failed so pollers see a terminal state.
+            await self.app.close()
         if self._executor is not None:
             # wait=False: in-flight builds finish in the background without
             # blocking the event loop; nothing new can be submitted.
@@ -247,7 +264,14 @@ class ResultServer:
                 assert self.app is not None  # set in start()
                 response = await self.app.handle(request)
                 keep_alive = request.keep_alive
-                writer.write(response.encode(keep_alive=keep_alive))
+                if isinstance(response, StreamingHttpResponse):
+                    writer.write(response.encode_head(keep_alive=keep_alive))
+                    async for chunk in response.chunks:
+                        writer.write(encode_chunk(chunk))
+                        await writer.drain()
+                    writer.write(LAST_CHUNK)
+                else:
+                    writer.write(response.encode(keep_alive=keep_alive))
                 await writer.drain()
                 if not keep_alive:
                     break

@@ -130,6 +130,43 @@ def _coerce_value(text: str, annotation: Any, name: str) -> Any:
     )  # pragma: no cover - params dataclasses only use JSON scalars
 
 
+def _coerce_json_value(value: Any, annotation: Any, name: str) -> Any:
+    """Validate one JSON body value against the field's annotated type.
+
+    The write path receives real JSON types, so unlike the query-string
+    coercion this never parses strings — it type-checks (allowing the one
+    lossless widening JSON has, int → float).
+    """
+    if get_origin(annotation) is Union:
+        non_none = [arg for arg in get_args(annotation) if arg is not type(None)]
+        if len(non_none) == 1:
+            if value is None:
+                return None
+            return _coerce_json_value(value, non_none[0], name)
+    if annotation is bool:
+        if isinstance(value, bool):
+            return value
+        raise ServeError(400, f"parameter {name!r} must be a boolean, got {value!r}")
+    if annotation is int:
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+        raise ServeError(400, f"parameter {name!r} must be an integer, got {value!r}")
+    if annotation is float:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            number = float(value)
+            if number != number or number in (float("inf"), float("-inf")):
+                raise ServeError(400, f"parameter {name!r} must be finite, got {value!r}")
+            return number
+        raise ServeError(400, f"parameter {name!r} must be a number, got {value!r}")
+    if annotation is str:
+        if isinstance(value, str):
+            return value
+        raise ServeError(400, f"parameter {name!r} must be a string, got {value!r}")
+    raise ServeError(
+        400, f"parameter {name!r} has unsupported type {annotation!r}"
+    )  # pragma: no cover - params dataclasses only use JSON scalars
+
+
 class ResultService:
     """Serves experiment results from the cache, computing on miss."""
 
@@ -221,16 +258,31 @@ class ResultService:
         self, experiment_id: str, query: Mapping[str, Sequence[str]]
     ) -> PreparedRequest:
         """Validate a request and compute its cache key, touching no disk."""
-        try:
-            spec = registry.get_spec(experiment_id)
-        except Exception:
-            raise ServeError(
-                404,
-                f"unknown experiment {experiment_id!r} "
-                f"(known: {', '.join(registry.experiment_ids())})",
-            ) from None
+        spec = self._lookup_spec(experiment_id)
         backend = self._resolve_backend(query)
         params_doc = self._parse_params(spec, query)
+        return self._prepared(spec, params_doc, backend)
+
+    def prepare_document(
+        self,
+        experiment_id: str,
+        params: Optional[Mapping[str, Any]] = None,
+        backend: Optional[str] = None,
+    ) -> PreparedRequest:
+        """Validate a JSON-document request (job submissions, bulk results).
+
+        The write-path twin of :meth:`prepare`: ``params`` carries real JSON
+        values instead of query strings, ``backend`` an explicit name or
+        ``None`` for the service default.  Touches no disk.
+        """
+        spec = self._lookup_spec(experiment_id)
+        resolved = self._resolve_backend_name(backend)
+        params_doc = self._params_from_document(spec, params)
+        return self._prepared(spec, params_doc, resolved)
+
+    def _prepared(
+        self, spec: ExperimentSpec, params_doc: Mapping[str, Any], backend: str
+    ) -> PreparedRequest:
         fingerprint = code_fingerprint()
         key = self.cache.key_for(spec, params_doc, backend, fingerprint=fingerprint)
         return PreparedRequest(
@@ -241,13 +293,29 @@ class ResultService:
             fingerprint=fingerprint,
         )
 
+    def _lookup_spec(self, experiment_id: str) -> ExperimentSpec:
+        try:
+            return registry.get_spec(experiment_id)
+        except Exception:
+            raise ServeError(
+                404,
+                f"unknown experiment {experiment_id!r} "
+                f"(known: {', '.join(registry.experiment_ids())})",
+            ) from None
+
     def _resolve_backend(self, query: Mapping[str, Sequence[str]]) -> str:
         values = list(query.get("backend", []))
         if not values:
             return self.default_backend
         if len(values) > 1:
             raise ServeError(400, "query parameter 'backend' was given more than once")
-        name = values[0]
+        return self._resolve_backend_name(values[0])
+
+    def _resolve_backend_name(self, name: Optional[str]) -> str:
+        if name is None:
+            return self.default_backend
+        if not isinstance(name, str):
+            raise ServeError(400, f"backend must be a string, got {name!r}")
         try:
             return get_backend(name).name
         except BackendError as error:
@@ -284,6 +352,38 @@ class ResultService:
             if len(values) > 1:
                 raise ServeError(400, f"parameter {name!r} was given more than once")
             kwargs[name] = _coerce_value(values[0], hints[name], name)
+        return spec.params_dict(spec.params_type(**kwargs))
+
+    def _params_from_document(
+        self, spec: ExperimentSpec, params: Optional[Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        if params is None:
+            params = {}
+        if not isinstance(params, Mapping):
+            raise ServeError(
+                400, f"params for {spec.experiment_id!r} must be an object"
+            )
+        if spec.params_type is None:
+            if params:
+                raise ServeError(
+                    400,
+                    f"experiment {spec.experiment_id!r} takes no parameters, "
+                    f"got: {', '.join(sorted(params))}",
+                )
+            return {}
+        hints = get_type_hints(spec.params_type)
+        known = {spec_field.name for spec_field in dataclasses.fields(spec.params_type)}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ServeError(
+                400,
+                f"unknown parameter(s) for {spec.experiment_id!r}: "
+                f"{', '.join(unknown)} (known: {', '.join(sorted(known))})",
+            )
+        kwargs = {
+            name: _coerce_json_value(value, hints[name], name)
+            for name, value in params.items()
+        }
         return spec.params_dict(spec.params_type(**kwargs))
 
     # ------------------------------------------------------------- fetching

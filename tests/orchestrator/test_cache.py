@@ -245,14 +245,61 @@ class TestPruneAndStats:
         report = cache.prune()
         assert report.removed_entries == 1
 
-    def test_clear_removes_everything(self, cache):
+    def test_clear_removes_entries_and_leaked_temps(self, cache):
         self._store_one(cache)
-        with open(os.path.join(cache.directory, ".tmp-x.json"), "w") as handle:
+        leaked = os.path.join(cache.directory, ".tmp-x.json")
+        with open(leaked, "w") as handle:
             handle.write("{}")
+        two_hours_ago = time.time() - 7200
+        os.utime(leaked, (two_hours_ago, two_hours_ago))
         report = cache.clear()
         assert report.removed_entries == 1
         assert report.removed_temp_files == 1
         assert len(cache) == 0
+
+    def test_clear_keeps_fresh_temp_files(self, cache):
+        # Same rule as prune(): a young .tmp-* file is a store() in flight
+        # (possibly in another process); clear() unlinking it would make
+        # that writer's atomic os.replace blow up.  Regression test for
+        # clear() deleting temps regardless of age.
+        self._store_one(cache)
+        in_flight = os.path.join(cache.directory, ".tmp-in-flight.json")
+        with open(in_flight, "w", encoding="utf-8") as handle:
+            handle.write("{}")
+        report = cache.clear()
+        assert report.removed_entries == 1
+        assert report.removed_temp_files == 0
+        assert os.path.exists(in_flight)
+
+    def test_store_in_flight_survives_a_concurrent_clear(self, cache):
+        # Simulate the interleaving directly: a writer has created its temp
+        # file but not yet renamed it when clear() runs.  The rename must
+        # still succeed and commit the entry.
+        import tempfile
+
+        result = execute_spec(figure1_spec())
+        key = cache.key_for(figure1_spec(), figure1_spec().params_dict(), "python")
+        os.makedirs(cache.directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=cache.directory
+        )
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(result.canonical_dict(), handle)
+        cache.clear()
+        os.replace(temp_path, os.path.join(cache.directory, f"{key}.json"))
+
+    def test_invalidate_removes_one_entry(self, cache):
+        key = self._store_one(cache)
+        assert cache.invalidate(key) is True
+        assert cache.load(key) is None
+        assert cache.invalidate(key) is False
+
+    def test_invalidate_rejects_path_traversal(self, cache, tmp_path):
+        outside = tmp_path / "outside.json"
+        outside.write_text("{}")
+        assert cache.invalidate("../outside") is False
+        assert cache.invalidate("") is False
+        assert outside.exists()
 
     def test_prune_on_missing_directory_is_a_no_op(self, tmp_path):
         report = ResultCache(str(tmp_path / "never-created")).prune()

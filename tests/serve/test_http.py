@@ -8,8 +8,12 @@ import pytest
 
 from repro.core.exceptions import ServeError
 from repro.serve.http import (
+    LAST_CHUNK,
+    MAX_BODY_BYTES,
     MAX_HEADER_COUNT,
     HttpResponse,
+    StreamingHttpResponse,
+    encode_chunk,
     etag_for,
     if_none_match_matches,
     read_request,
@@ -155,3 +159,74 @@ class TestETags:
     def test_missing_header_never_matches(self):
         assert if_none_match_matches(None, '"abc"') is False
         assert if_none_match_matches("", '"abc"') is False
+
+
+class TestRequestBodies:
+    def test_content_length_body_is_read(self):
+        request = parse(
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}"
+        )
+        assert request.method == "POST"
+        assert request.body == b'{"a":1}'
+
+    def test_missing_content_length_means_empty_body(self):
+        request = parse(b"POST /jobs HTTP/1.1\r\n\r\n")
+        assert request.body == b""
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(ServeError) as excinfo:
+            parse(
+                f"POST /jobs HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+            )
+        assert excinfo.value.status == 413
+
+    def test_malformed_content_length_is_400(self):
+        for value in (b"seven", b"-1"):
+            with pytest.raises(ServeError) as excinfo:
+                parse(b"POST /jobs HTTP/1.1\r\nContent-Length: " + value + b"\r\n\r\n")
+            assert excinfo.value.status == 400
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(ServeError) as excinfo:
+            parse(b"POST /jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\n{}")
+        assert excinfo.value.status == 400
+        assert "truncated" in str(excinfo.value)
+
+    def test_chunked_request_body_is_rejected(self):
+        # A half-parsed chunked body would desynchronize keep-alive framing,
+        # so the parser refuses it before reading any body byte.
+        with pytest.raises(ServeError) as excinfo:
+            parse(
+                b"POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                b"2\r\n{}\r\n0\r\n\r\n"
+            )
+        assert excinfo.value.status == 400
+        assert "chunked" in str(excinfo.value)
+
+
+class TestChunkedResponses:
+    def test_chunk_framing(self):
+        assert encode_chunk(b"hello") == b"5\r\nhello\r\n"
+        assert encode_chunk(b"") == b""
+        assert LAST_CHUNK == b"0\r\n\r\n"
+
+    def test_streaming_head_announces_chunked(self):
+        async def chunks():
+            yield b"x"
+
+        head = StreamingHttpResponse(
+            status=200, chunks=chunks(), headers=(("X-Result-Count", "3"),)
+        ).encode_head()
+        assert b"Transfer-Encoding: chunked" in head
+        assert b"Content-Length" not in head
+        assert b"X-Result-Count: 3" in head
+        assert b"application/x-ndjson" in head
+
+    def test_streaming_head_honors_connection_close(self):
+        async def chunks():
+            yield b"x"
+
+        head = StreamingHttpResponse(status=200, chunks=chunks()).encode_head(
+            keep_alive=False
+        )
+        assert b"Connection: close" in head

@@ -1,0 +1,467 @@
+"""Write-path tests: the job store and the ``/jobs`` plane of the app.
+
+The app tests drive :meth:`ResultApp.handle` directly with hand-built
+:class:`HttpRequest` objects over a thread-pool service (the same pattern as
+``test_degradation.py``); the real process pool and real sockets are covered
+end-to-end in ``test_server.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from urllib.parse import parse_qs, unquote, urlsplit
+
+import pytest
+
+import repro.serve.service as service_module
+from repro.experiments.orchestrator import ResultCache
+from repro.serve.app import MAX_JOB_TASKS, ResultApp
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.http import HttpRequest
+from repro.serve.jobs import JobStore, JobTask
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.service import ResultService
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _request(method, path, document=None, headers=None):
+    split = urlsplit(path)
+    body = b"" if document is None else json.dumps(document).encode("utf-8")
+    return HttpRequest(
+        method=method,
+        target=path,
+        path=unquote(split.path),
+        query=parse_qs(split.query, keep_blank_values=True),
+        version="HTTP/1.1",
+        headers={name.lower(): value for name, value in (headers or {}).items()},
+        body=body,
+    )
+
+
+def _make_app(tmp_path, executor, **kwargs):
+    service = ResultService(
+        cache=ResultCache(str(tmp_path / "cache")),
+        executor=executor,
+        metrics=ServiceMetrics(),
+        **kwargs,
+    )
+    return ResultApp(service)
+
+
+def with_app(test_body, tmp_path, **service_kwargs):
+    async def _run():
+        with ThreadPoolExecutor(max_workers=2) as executor:
+            app = _make_app(tmp_path, executor, **service_kwargs)
+            try:
+                return await test_body(app)
+            finally:
+                await app.close()
+
+    return asyncio.run(_run())
+
+
+async def _poll_until_finished(app, job_id, attempts=2000):
+    for _ in range(attempts):
+        response = await app.handle(_request("GET", f"/jobs/{job_id}"))
+        assert response.status == 200
+        snapshot = json.loads(response.body)
+        if snapshot["status"] in ("done", "failed"):
+            return snapshot
+        await asyncio.sleep(0.005)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+class TestJobStore:
+    def _task(self, app):
+        prepared = app.service.prepare("example1", {})
+        return JobTask(prepared=prepared)
+
+    def test_ids_are_sequential(self, tmp_path):
+        async def body(app):
+            store = JobStore()
+            first = store.create([self._task(app)])
+            second = store.create([self._task(app)])
+            assert (first.job_id, second.job_id) == ("j000001", "j000002")
+            assert store.get("j000001") is first
+            assert store.get("nope") is None
+
+        with_app(body, tmp_path)
+
+    def test_history_limit_validation(self):
+        with pytest.raises(ValueError):
+            JobStore(history_limit=0)
+
+    def test_eviction_drops_oldest_finished_only(self, tmp_path):
+        async def body(app):
+            store = JobStore(history_limit=2, clock=FakeClock())
+            active = store.create([self._task(app)])
+            store.mark_running(active)
+            finished = []
+            for _ in range(3):
+                job = store.create([self._task(app)])
+                store.mark_done(job)
+                finished.append(job)
+            # The running job survives even though it is the oldest; the
+            # oldest *finished* jobs go first.
+            assert store.get(active.job_id) is active
+            assert store.get(finished[0].job_id) is None
+            assert store.get(finished[-1].job_id) is finished[-1]
+            assert store.counts()["evicted"] == 2
+            assert store.counts()["retained"] == 2
+
+        with_app(body, tmp_path)
+
+    def test_all_active_jobs_may_exceed_the_limit(self, tmp_path):
+        async def body(app):
+            store = JobStore(history_limit=1, clock=FakeClock())
+            jobs = [store.create([self._task(app)]) for _ in range(3)]
+            for job in jobs:
+                store.mark_running(job)
+            assert store.counts()["retained"] == 3
+            assert store.counts()["evicted"] == 0
+
+        with_app(body, tmp_path)
+
+    def test_counts_shape(self, tmp_path):
+        async def body(app):
+            store = JobStore(history_limit=8, clock=FakeClock())
+            done = store.create([self._task(app)])
+            store.mark_done(done)
+            failed = store.create([self._task(app)])
+            store.mark_failed(failed, "boom")
+            store.create([self._task(app)])
+            assert store.counts() == {
+                "retained": 3,
+                "history_limit": 8,
+                "evicted": 0,
+                "queued": 1,
+                "running": 0,
+                "done": 1,
+                "failed": 1,
+            }
+            assert failed.error == "boom"
+            assert failed.snapshot()["status"] == "failed"
+
+        with_app(body, tmp_path)
+
+
+class TestJobSubmission:
+    def test_submit_poll_result_round_trip_matches_golden(self, tmp_path):
+        """POST → 202 → poll → result bytes identical to the golden file."""
+
+        async def body(app):
+            submit = await app.handle(
+                _request(
+                    "POST",
+                    "/jobs",
+                    {"experiment": "safety_violation", "backend": "python"},
+                )
+            )
+            assert submit.status == 202
+            accepted = json.loads(submit.body)
+            assert accepted["status"] in ("queued", "running", "done")
+            assert dict(submit.headers)["Location"] == accepted["path"]
+            snapshot = await _poll_until_finished(app, accepted["id"])
+            assert snapshot["status"] == "done"
+            assert snapshot["tasks_done"] == snapshot["tasks_total"] == 1
+            assert snapshot["tasks"][0]["cache"] == "miss"
+            result = await app.handle(
+                _request("GET", accepted["result_path"])
+            )
+            return result
+
+        result = with_app(body, tmp_path)
+        assert result.status == 200
+        golden = (GOLDEN_DIR / "safety_violation.python.json").read_bytes()
+        assert result.body == golden
+
+    def test_wait_submission_returns_the_finished_snapshot(self, tmp_path):
+        async def body(app):
+            response = await app.handle(
+                _request("POST", "/jobs", {"experiment": "example1", "wait": True})
+            )
+            assert response.status == 200
+            snapshot = json.loads(response.body)
+            assert snapshot["status"] == "done"
+            assert app.metrics.jobs_submitted == 1
+            assert app.metrics.jobs_completed == 1
+            index = await app.handle(_request("GET", "/jobs"))
+            listing = json.loads(index.body)
+            assert listing["counts"]["done"] == 1
+            assert listing["jobs"][0]["id"] == snapshot["id"]
+
+        with_app(body, tmp_path)
+
+    def test_duplicate_submits_coalesce_through_single_flight(self, tmp_path):
+        """N identical submissions cost exactly one build."""
+
+        async def body(app):
+            responses = await asyncio.gather(
+                *(
+                    app.handle(
+                        _request(
+                            "POST", "/jobs", {"experiment": "example1", "wait": True}
+                        )
+                    )
+                    for _ in range(5)
+                )
+            )
+            assert [r.status for r in responses] == [200] * 5
+            assert all(
+                json.loads(r.body)["status"] == "done" for r in responses
+            )
+            assert app.metrics.jobs_submitted == 5
+            assert app.metrics.jobs_completed == 5
+            return app.metrics
+
+        metrics = with_app(body, tmp_path)
+        assert metrics.builds == 1
+        assert metrics.single_flight_joined >= 1
+
+    def test_breaker_open_submission_is_503_with_retry_after(
+        self, tmp_path, monkeypatch
+    ):
+        def _boom(experiment_id, params_doc, backend):
+            raise RuntimeError("injected build failure")
+
+        monkeypatch.setattr(service_module, "_pool_execute", _boom)
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=30.0, clock=clock)
+
+        async def body(app):
+            first = await app.handle(
+                _request("POST", "/jobs", {"experiment": "example1", "wait": True})
+            )
+            assert first.status == 200
+            assert json.loads(first.body)["status"] == "failed"
+            assert app.metrics.jobs_failed == 1
+            # The breaker is open now: submissions are refused at the door.
+            second = await app.handle(
+                _request("POST", "/jobs", {"experiment": "example1"})
+            )
+            assert second.status == 503
+            assert dict(second.headers)["Retry-After"] == "30"
+            assert "breaker" in json.loads(second.body)["error"]["message"]
+            assert app.metrics.jobs_submitted == 1  # the rejected one never counted
+            # Reads still serve: /healthz reports the degradation honestly.
+            health = await app.handle(_request("GET", "/healthz"))
+            assert json.loads(health.body)["breaker"] == "open"
+
+        with_app(body, tmp_path, breaker=breaker)
+
+    def test_failed_job_records_the_task_error(self, tmp_path, monkeypatch):
+        def _boom(experiment_id, params_doc, backend):
+            raise RuntimeError("injected build failure")
+
+        monkeypatch.setattr(service_module, "_pool_execute", _boom)
+
+        async def body(app):
+            response = await app.handle(
+                _request("POST", "/jobs", {"experiment": "example1", "wait": True})
+            )
+            snapshot = json.loads(response.body)
+            assert snapshot["status"] == "failed"
+            assert "injected build failure" in snapshot["error"]
+            assert snapshot["tasks"][0]["status"] == "failed"
+            result = await app.handle(
+                _request("GET", f"/jobs/{snapshot['id']}/result")
+            )
+            assert result.status == 500
+            assert "failed" in json.loads(result.body)["error"]["message"]
+
+        with_app(body, tmp_path)
+
+    def test_result_of_unfinished_job_is_409(self, tmp_path, monkeypatch):
+        release = threading.Event()
+        real_execute = service_module._pool_execute
+
+        def _slow(experiment_id, params_doc, backend):
+            release.wait(30.0)
+            return real_execute(experiment_id, params_doc, backend)
+
+        monkeypatch.setattr(service_module, "_pool_execute", _slow)
+
+        async def body(app):
+            submit = await app.handle(
+                _request("POST", "/jobs", {"experiment": "example1"})
+            )
+            job_id = json.loads(submit.body)["id"]
+            early = await app.handle(_request("GET", f"/jobs/{job_id}/result"))
+            assert early.status == 409
+            release.set()
+            snapshot = await _poll_until_finished(app, job_id)
+            assert snapshot["status"] == "done"
+            late = await app.handle(_request("GET", f"/jobs/{job_id}/result"))
+            assert late.status == 200
+
+        with_app(body, tmp_path)
+
+    def test_unknown_job_is_404(self, tmp_path):
+        async def body(app):
+            response = await app.handle(_request("GET", "/jobs/j999999"))
+            assert response.status == 404
+            result = await app.handle(_request("GET", "/jobs/j999999/result"))
+            assert result.status == 404
+
+        with_app(body, tmp_path)
+
+
+class TestGridSubmission:
+    def test_grid_expands_to_one_task_per_point(self, tmp_path):
+        async def body(app):
+            response = await app.handle(
+                _request(
+                    "POST",
+                    "/jobs",
+                    {
+                        "experiment": "figure1",
+                        "grid": {"max_residual_miners": [10, 20, 30]},
+                        "wait": True,
+                    },
+                )
+            )
+            snapshot = json.loads(response.body)
+            assert snapshot["status"] == "done"
+            assert snapshot["tasks_total"] == 3
+            params = [task["params"]["max_residual_miners"] for task in snapshot["tasks"]]
+            assert params == [10, 20, 30]
+            keys = {task["key"] for task in snapshot["tasks"]}
+            assert len(keys) == 3
+            result = await app.handle(
+                _request("GET", f"/jobs/{snapshot['id']}/result")
+            )
+            document = json.loads(result.body)
+            assert document["job"] == snapshot["id"]
+            assert len(document["results"]) == 3
+
+        with_app(body, tmp_path)
+
+    def test_grid_axis_overlapping_params_is_400(self, tmp_path):
+        async def body(app):
+            response = await app.handle(
+                _request(
+                    "POST",
+                    "/jobs",
+                    {
+                        "experiment": "figure1",
+                        "params": {"max_residual_miners": 10},
+                        "grid": {"max_residual_miners": [10, 20]},
+                    },
+                )
+            )
+            assert response.status == 400
+            assert "overlap" in json.loads(response.body)["error"]["message"]
+
+        with_app(body, tmp_path)
+
+    def test_grid_over_the_task_limit_is_400(self, tmp_path):
+        async def body(app):
+            response = await app.handle(
+                _request(
+                    "POST",
+                    "/jobs",
+                    {
+                        "experiment": "figure1",
+                        "grid": {
+                            "max_residual_miners": list(range(MAX_JOB_TASKS + 1))
+                        },
+                    },
+                )
+            )
+            assert response.status == 400
+            assert app.metrics.jobs_submitted == 0
+
+        with_app(body, tmp_path)
+
+
+class TestSubmissionValidation:
+    @pytest.mark.parametrize(
+        "document, fragment",
+        [
+            ({}, "'experiment' or 'experiments'"),
+            ({"experiment": "example1", "bogus": 1}, "bogus"),
+            ({"experiment": 7}, "experiment id string"),
+            ({"experiment": "example1", "wait": "yes"}, "'wait'"),
+            ({"experiments": "example1"}, "must be a list"),
+            ({"experiments": []}, "at least one task"),
+            ({"experiments": [7]}, "experiments[0]"),
+            (
+                {"experiments": ["example1"], "grid": {"x": [1]}},
+                "'experiments' cannot be combined",
+            ),
+            ({"experiment": "example1", "grid": {}}, "'grid'"),
+            (
+                {"experiment": "figure1", "grid": {"max_residual_miners": []}},
+                "non-empty list",
+            ),
+        ],
+    )
+    def test_invalid_documents_are_400(self, tmp_path, document, fragment):
+        async def body(app):
+            response = await app.handle(_request("POST", "/jobs", document))
+            assert response.status == 400, response.body
+            assert fragment in json.loads(response.body)["error"]["message"]
+
+        with_app(body, tmp_path)
+
+    def test_unknown_experiment_is_404(self, tmp_path):
+        async def body(app):
+            response = await app.handle(
+                _request("POST", "/jobs", {"experiment": "does-not-exist"})
+            )
+            assert response.status == 404
+
+        with_app(body, tmp_path)
+
+    def test_json_typed_params_are_strict(self, tmp_path):
+        async def body(app):
+            # JSON documents carry real types; "10" for an int param is a
+            # client bug, unlike in query strings where everything is text.
+            response = await app.handle(
+                _request(
+                    "POST",
+                    "/jobs",
+                    {
+                        "experiment": "figure1",
+                        "params": {"max_residual_miners": "10"},
+                    },
+                )
+            )
+            assert response.status == 400
+
+        with_app(body, tmp_path)
+
+    def test_non_object_body_is_400(self, tmp_path):
+        async def body(app):
+            response = await app.handle(_request("POST", "/jobs", [1, 2]))
+            assert response.status == 400
+            garbage = _request("POST", "/jobs")
+            garbage = HttpRequest(
+                method="POST",
+                target="/jobs",
+                path="/jobs",
+                query={},
+                version="HTTP/1.1",
+                headers={},
+                body=b"not json",
+            )
+            response = await app.handle(garbage)
+            assert response.status == 400
+
+        with_app(body, tmp_path)

@@ -308,3 +308,81 @@ class TestFingerprintRefresh:
         # still matches, so the second request is a hit on the same ETag.
         assert after.header("etag") == before.header("etag")
         assert after.header("x-cache") == "hit"
+
+
+class TestWritePathOverSockets:
+    """The write plane end-to-end: real sockets, real process pool."""
+
+    def test_submit_poll_fetch_round_trip(self):
+        async def body(server, client):
+            submit = await client.post("/jobs", {"experiment": "example1"})
+            assert submit.status == 202
+            accepted = json.loads(submit.body)
+            assert submit.header("location") == f"/jobs/{accepted['id']}"
+            for _ in range(2000):
+                poll = await client.get(f"/jobs/{accepted['id']}")
+                snapshot = json.loads(poll.body)
+                if snapshot["status"] in ("done", "failed"):
+                    break
+                await asyncio.sleep(0.01)
+            assert snapshot["status"] == "done"
+            result = await client.get(f"/jobs/{accepted['id']}/result")
+            direct = await client.get("/experiments/example1")
+            metrics_response = await client.get("/metrics")
+            return result, direct, json.loads(metrics_response.body)
+
+        result, direct, metrics = with_server(body)
+        assert result.status == 200
+        # The job's result and the read plane serve the same bytes.
+        assert result.body == direct.body
+        assert metrics["jobs_submitted"] == 1
+        assert metrics["jobs_completed"] == 1
+        assert metrics["jobs"]["done"] == 1
+
+    def test_ndjson_stream_decodes_over_a_real_connection(self):
+        async def body(server, client):
+            response = await client.get(
+                "/results?experiment=example1&experiment=figure1&format=ndjson"
+            )
+            direct = await client.get("/experiments/example1")
+            return response, direct
+
+        response, direct = with_server(body)
+        assert response.status == 200
+        assert response.header("transfer-encoding") == "chunked"
+        lines = [json.loads(line) for line in response.body.splitlines() if line]
+        assert [line["experiment_id"] for line in lines] == ["example1", "figure1"]
+        assert lines[0]["result"] == json.loads(direct.body)
+
+    def test_cache_admin_cycle_over_sockets(self):
+        async def body(server, client):
+            await client.get("/experiments/example1")
+            stats = json.loads((await client.get("/cache/stats")).body)
+            warm = json.loads(
+                (await client.post("/cache/warm", {"experiments": ["figure1"]})).body
+            )
+            after = json.loads((await client.get("/cache/stats")).body)
+            prune = json.loads((await client.post("/cache/prune", {})).body)
+            return stats, warm, after, prune
+
+        stats, warm, after, prune = with_server(body)
+        assert stats["entries"] == 1
+        assert warm["counts"] == {"hit": 0, "miss": 1}
+        assert after["entries"] == 2
+        assert prune["kept_entries"] == 2
+
+    def test_keep_alive_survives_a_mixed_request_sequence(self):
+        async def body(server, client):
+            # One connection: read, stream, write, admin — framing must
+            # stay aligned across Content-Length and chunked responses.
+            first = await client.get("/experiments/example1")
+            streamed = await client.get("/results?experiment=example1&format=ndjson")
+            job = await client.post(
+                "/jobs", {"experiment": "example1", "wait": True}
+            )
+            health = await client.get("/healthz")
+            return first, streamed, job, health
+
+        first, streamed, job, health = with_server(body)
+        assert first.status == streamed.status == job.status == health.status == 200
+        assert json.loads(job.body)["status"] == "done"

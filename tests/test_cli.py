@@ -213,6 +213,36 @@ class TestCacheCommand:
         with pytest.raises(SystemExit):
             main(["cache", "--prune", "--clear"])
 
+    def test_warm_primes_misses_then_reports_hits(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["cache", "--warm", "example1", "--cache-dir", str(cache_dir)]) == 0
+        first = capsys.readouterr().out
+        assert "1 result(s) computed, 0 already cached" in first
+        assert len(list(cache_dir.glob("*.json"))) == 1
+        assert main(["cache", "--warm", "example1", "--cache-dir", str(cache_dir)]) == 0
+        second = capsys.readouterr().out
+        assert "0 result(s) computed, 1 already cached" in second
+
+    def test_warm_with_tag_selects_by_tag(self, tmp_path, capsys):
+        from repro.experiments.orchestrator import registry
+
+        tag = registry.known_tags()[0]
+        expected = sum(1 for spec in registry.all_specs() if tag in spec.tags)
+        cache_dir = tmp_path / "cache"
+        assert main(
+            ["cache", "--warm", "--tag", tag, "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert f"({expected} selected" in capsys.readouterr().out
+        assert len(list(cache_dir.glob("*.json"))) == expected
+
+    def test_warm_unknown_experiment_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["cache", "--warm", "nope", "--cache-dir", str(tmp_path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_warm_only_flags_require_warm(self, tmp_path, capsys):
+        assert main(["cache", "--stats", "--tag", "x", "--cache-dir", str(tmp_path)]) == 2
+        assert "--warm" in capsys.readouterr().err
+
 
 class TestBenchServeCommand:
     def test_bench_serve_writes_snapshot(self, tmp_path, capsys):
@@ -244,6 +274,40 @@ class TestBenchServeCommand:
     def test_bench_serve_unknown_experiment_is_a_usage_error(self, capsys):
         assert main(["bench-serve", "nope"]) == 2
         assert "unknown experiments" in capsys.readouterr().err
+
+    def test_bench_serve_write_ratio_adds_the_mixed_phase(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_7.json"
+        assert (
+            main(
+                [
+                    "bench-serve",
+                    "example1",
+                    "--requests",
+                    "8",
+                    "--concurrency",
+                    "2",
+                    "--write-ratio",
+                    "0.25",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "mixed (25% writes)" in printed
+        document = json.loads(output.read_text())
+        assert document["workload"]["write_ratio"] == 0.25
+        mixed = document["phases"]["mixed_read_write"]
+        assert mixed["requests"] == 8
+        # Every fourth request is a POST /jobs (wait=true → 200); the rest
+        # are warm GETs — all against the already-primed cache.
+        assert mixed["statuses"] == {"200": 8}
+        assert mixed["x_cache"].get("hit", 0) >= 6
+
+    def test_bench_serve_bad_write_ratio_is_an_error(self, capsys):
+        assert main(["bench-serve", "example1", "--write-ratio", "1.5"]) == 1
+        assert "write ratio" in capsys.readouterr().err
 
 
 class TestServeCommand:
