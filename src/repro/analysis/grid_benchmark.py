@@ -1,0 +1,309 @@
+"""Benchmark harness for the fused grid campaign engine.
+
+Times one whole scenario grid — adversary budgets × exploit reliabilities,
+every point judged at the BFT and majority tolerances — three ways:
+
+- **fused**: one :meth:`GridCampaignEngine.estimate_grid` call per backend,
+  the single-kernel path the campaign sweep experiments now use;
+- **looped**: the pre-grid pattern, one
+  :meth:`BatchCampaignEngine.estimate_worst_case` call per (point, family) —
+  what ``speedup_fused_over_looped_numpy`` is measured against;
+- **scalar**: the fused pure-Python backend, which *is* the scalar per-cell
+  loop.  The full workload takes minutes scalar, so it runs at a reduced
+  ``scalar_trials`` and the fused-over-scalar factor compares point-trial
+  throughput (the per-trial cost is constant in the trial count).
+
+The grid kernels are bit-identical to the looped path by contract, so the
+benchmark doubles as an end-to-end identity check: every fused estimate is
+asserted **equal** to its looped counterpart, not just close.  The snapshot
+(``BENCH_8.json`` in CI) records both speedup factors the grid-smoke job
+gates on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.backend import available_backends
+from repro.core.exceptions import AnalysisError
+from repro.core.resilience import ProtocolFamily
+from repro.faults.engine import (
+    BatchCampaignEngine,
+    GridCampaignEngine,
+    GridPointEstimate,
+    GridPointRequest,
+)
+from repro.faults.scenarios import ecosystem_scenario, family_tolerances
+
+#: Schema version of the snapshot document.
+GRID_SNAPSHOT_VERSION = 1
+
+#: The two protocol families every grid point is judged at.
+GRID_FAMILIES = (ProtocolFamily.BFT, ProtocolFamily.NAKAMOTO)
+
+
+@dataclass(frozen=True)
+class GridTiming:
+    """One execution mode's measurement on the grid benchmark workload."""
+
+    mode: str
+    backend: str
+    trials: int
+    seconds: float
+    point_trials_per_second: float
+
+
+@dataclass(frozen=True)
+class GridBenchmarkReport:
+    """All mode timings for one grid workload."""
+
+    trials: int
+    scalar_trials: int
+    replicas: int
+    vulnerabilities: int
+    grid_points: int
+    ecosystem: str
+    budgets: Tuple[int, ...]
+    probabilities: Tuple[float, ...]
+    seed: int
+    repeats: int
+    identical_fused_vs_looped: bool
+    timings: Tuple[GridTiming, ...]
+
+    def timing(self, mode: str) -> GridTiming:
+        for timing in self.timings:
+            if timing.mode == mode:
+                return timing
+        raise AnalysisError(f"mode {mode!r} was not benchmarked")
+
+    def _has(self, mode: str) -> bool:
+        return any(timing.mode == mode for timing in self.timings)
+
+    def speedup_fused_over_looped(self) -> Optional[float]:
+        """Same backend, same trials: plain wall-time ratio."""
+        if not (self._has("numpy_fused") and self._has("numpy_looped")):
+            return None
+        return self.timing("numpy_looped").seconds / self.timing("numpy_fused").seconds
+
+    def speedup_fused_numpy_over_scalar(self) -> Optional[float]:
+        """Fused NumPy vs the pre-grid scalar path (looped pure-Python).
+
+        A throughput ratio — the scalar run uses fewer trials by design, and
+        its per-trial cost is constant in the trial count.
+        """
+        if not (self._has("numpy_fused") and self._has("python_looped")):
+            return None
+        return (
+            self.timing("numpy_fused").point_trials_per_second
+            / self.timing("python_looped").point_trials_per_second
+        )
+
+    def as_dict(self) -> Dict:
+        """JSON-serializable snapshot of the report."""
+        document: Dict = {
+            "version": GRID_SNAPSHOT_VERSION,
+            "benchmark": "grid_campaign_engine",
+            "workload": {
+                "trials": self.trials,
+                "scalar_trials": self.scalar_trials,
+                "replicas": self.replicas,
+                "vulnerabilities": self.vulnerabilities,
+                "grid_points": self.grid_points,
+                "tolerances_per_point": len(GRID_FAMILIES),
+                "ecosystem": self.ecosystem,
+                "budgets": list(self.budgets),
+                "probabilities": list(self.probabilities),
+                "seed": self.seed,
+                "repeats": self.repeats,
+            },
+            "identical_fused_vs_looped": self.identical_fused_vs_looped,
+            "results": {
+                timing.mode: {
+                    "backend": timing.backend,
+                    "trials": timing.trials,
+                    "seconds": timing.seconds,
+                    "point_trials_per_second": timing.point_trials_per_second,
+                }
+                for timing in self.timings
+            },
+        }
+        fused_over_looped = self.speedup_fused_over_looped()
+        if fused_over_looped is not None:
+            document["speedup_fused_over_looped_numpy"] = fused_over_looped
+        fused_over_scalar = self.speedup_fused_numpy_over_scalar()
+        if fused_over_scalar is not None:
+            document["speedup_numpy_fused_over_python_scalar"] = fused_over_scalar
+        return document
+
+
+def _best_of(repeats: int, run) -> Tuple[float, object]:
+    """(best wall seconds, last result) over ``repeats`` timed runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def benchmark_grid(
+    *,
+    trials: int = 10_000,
+    replicas: int = 150,
+    ecosystem: str = "default",
+    budgets: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8),
+    probabilities: Tuple[float, ...] = (0.45, 0.6, 0.75),
+    seed: int = 42,
+    repeats: int = 2,
+    scalar_trials: int = 400,
+    backends: Optional[Tuple[str, ...]] = None,
+) -> GridBenchmarkReport:
+    """Time the fused grid against the looped and scalar paths.
+
+    The grid is ``budgets × probabilities`` points (24 by default), every
+    point judged at both family tolerances on shared draws.  Each timed mode
+    gets one small untimed warmup, then ``repeats`` runs of which the
+    fastest counts.  Fused and looped results are asserted exactly equal.
+    """
+    if trials <= 0 or replicas <= 0 or scalar_trials <= 0:
+        raise AnalysisError("trials, replicas and scalar_trials must be positive")
+    if repeats <= 0:
+        raise AnalysisError("repeats must be positive")
+    if not budgets or not probabilities:
+        raise AnalysisError("at least one budget and one probability are required")
+    selected = tuple(backends) if backends is not None else available_backends()
+    if not selected:
+        raise AnalysisError("no backends selected for benchmarking")
+
+    scenario = ecosystem_scenario(
+        ecosystem=ecosystem,
+        population_size=replicas,
+        seed=seed,
+        exploit_probability=probabilities[0],
+    )
+    tolerances = family_tolerances(GRID_FAMILIES)
+    requests = tuple(
+        GridPointRequest(
+            tolerances=tolerances,
+            worst_case=budget,
+            success_probability=probability,
+            seed_offset=index,
+        )
+        for index, (budget, probability) in enumerate(
+            (budget, probability)
+            for budget in budgets
+            for probability in probabilities
+        )
+    )
+    point_count = len(requests)
+    timings = []
+    identical = True
+
+    for name in selected:
+        engine = GridCampaignEngine(
+            scenario.population, scenario.catalog, backend=name
+        )
+        mode_trials = trials if name != "python" else min(trials, scalar_trials)
+
+        def run_fused(run_trials: int = mode_trials) -> Tuple[GridPointEstimate, ...]:
+            return engine.estimate_grid(requests, trials=run_trials, seed=seed)
+
+        run_fused(min(mode_trials, 200))  # warmup (array conversion, caches)
+        seconds, estimates = _best_of(repeats, run_fused)
+        timings.append(
+            GridTiming(
+                mode=f"{name}_fused",
+                backend=name,
+                trials=mode_trials,
+                seconds=seconds,
+                point_trials_per_second=mode_trials * point_count / seconds,
+            )
+        )
+
+        # The looped path is the pre-grid sweep pattern: one catalog per
+        # probability, one estimate_worst_case call per (point, family).
+        loop_engines = {
+            probability: BatchCampaignEngine(
+                looped.population, looped.catalog, backend=name
+            )
+            for probability, looped in (
+                (
+                    probability,
+                    ecosystem_scenario(
+                        ecosystem=ecosystem,
+                        population_size=replicas,
+                        seed=seed,
+                        exploit_probability=probability,
+                    ),
+                )
+                for probability in probabilities
+            )
+        }
+
+        def run_looped(run_trials: int = mode_trials):
+            results = []
+            for index, request in enumerate(requests):
+                looped_engine = loop_engines[request.success_probability]
+                results.append(
+                    tuple(
+                        looped_engine.estimate_worst_case(
+                            max_vulnerabilities=request.worst_case,
+                            trials=run_trials,
+                            seed=seed + index,
+                            family=family,
+                        )
+                        for family in GRID_FAMILIES
+                    )
+                )
+            return results
+
+        run_looped(min(mode_trials, 200))  # warmup
+        looped_seconds, looped_results = _best_of(repeats, run_looped)
+        timings.append(
+            GridTiming(
+                mode=f"{name}_looped",
+                backend=name,
+                trials=mode_trials,
+                seconds=looped_seconds,
+                point_trials_per_second=mode_trials * point_count / looped_seconds,
+            )
+        )
+        for estimate, looped_pair in zip(estimates, looped_results):
+            for position in range(len(GRID_FAMILIES)):
+                if estimate.estimate_at(position) != looped_pair[position]:
+                    identical = False
+    if not identical:
+        raise AnalysisError(
+            "the fused grid broke bit-identity with the looped campaign path"
+        )
+
+    return GridBenchmarkReport(
+        trials=trials,
+        scalar_trials=min(trials, scalar_trials),
+        replicas=replicas,
+        vulnerabilities=len(scenario.catalog),
+        grid_points=point_count,
+        ecosystem=ecosystem,
+        budgets=tuple(budgets),
+        probabilities=tuple(probabilities),
+        seed=seed,
+        repeats=repeats,
+        identical_fused_vs_looped=identical,
+        timings=tuple(timings),
+    )
+
+
+def write_grid_snapshot(report: GridBenchmarkReport, path: str) -> None:
+    """Write a grid benchmark report to ``path`` as indented JSON."""
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    except OSError as error:
+        raise AnalysisError(
+            f"cannot write benchmark snapshot to {path!r}: {error}"
+        ) from error

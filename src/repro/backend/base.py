@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Hashable, Sequence, Tuple
+from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 #: Slack applied when a compromised-power *fraction* is compared against a
 #: tolerance (mirrors ``CampaignOutcome.violates``): a trial violates safety
@@ -97,6 +97,91 @@ class CampaignBatchResult:
     violations: int
     compromised_total: float
     per_vulnerability_totals: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class CampaignGridPoint:
+    """One scenario point of a fused campaign grid.
+
+    A grid point selects a subset of the shared exposure matrix's columns —
+    either explicitly (``columns``, in selection order) or as the ``budget``
+    most damaging columns by exposed power (ranked descending, column index
+    as tie-break) — and pins the per-point randomness and verdicts:
+
+    Attributes:
+        tolerances: compromised-power fractions evaluated as verdicts on the
+            same sampled trials (one exploit draw, several thresholds).
+        columns: explicit column indices into the shared matrix, in the
+            order the per-point kernel sees them (mutually exclusive with
+            ``budget``).
+        budget: select the top-``budget`` columns by exposed power inside
+            the kernel instead of naming them (the ``topk`` option picks the
+            ranking algorithm).
+        success_probabilities: per-selected-column exploit probabilities
+            overriding the matrix-wide vector (aligned with ``columns``).
+        success_probability: scalar override applied to every selected
+            column (how a reliability sweep varies one knob per point).
+        seed_offset: the point's RNG seed is ``seed + seed_offset``; its
+            sub-stream is exactly the stream a standalone
+            :meth:`ComputeBackend.campaign_trials` call with that seed draws
+            on the column-sliced matrix.
+    """
+
+    tolerances: Tuple[float, ...]
+    columns: Optional[Tuple[int, ...]] = None
+    budget: Optional[int] = None
+    success_probabilities: Optional[Tuple[float, ...]] = None
+    success_probability: Optional[float] = None
+    seed_offset: int = 0
+
+
+@dataclass(frozen=True)
+class ResolvedGridPoint:
+    """A grid point after validation: explicit columns, probabilities, seed."""
+
+    columns: Tuple[int, ...]
+    probabilities: Tuple[float, ...]
+    tolerances: Tuple[float, ...]
+    seed: int
+
+
+@dataclass(frozen=True)
+class CampaignGridPointResult:
+    """One grid point's aggregate campaign outcome.
+
+    Equivalent to a :class:`CampaignBatchResult` per tolerance, sharing the
+    trial draws: ``violations[k]`` is the violation count at
+    ``tolerances[k]``, while ``compromised_total`` and
+    ``per_vulnerability_totals`` (aligned with ``columns``) are
+    tolerance-independent.
+    """
+
+    trials: int
+    columns: Tuple[int, ...]
+    violations: Tuple[int, ...]
+    compromised_total: float
+    per_vulnerability_totals: Tuple[float, ...]
+
+
+#: Accepted values of ``campaign_grid``'s accumulation-dtype fast-path knob.
+GRID_DTYPES = ("float64", "float32")
+#: Accepted values of ``campaign_grid``'s top-k selection knob.
+GRID_TOPK_MODES = ("sort", "argpartition")
+
+
+def grid_topk_columns(
+    exposed_powers: Sequence[float], count: int
+) -> Tuple[int, ...]:
+    """The ``count`` columns with the largest exposed power.
+
+    Ranked by descending power with the column index as tie-break — the
+    exact (``topk="sort"``) selection both backends share.  ``count`` beyond
+    the column count selects every column.
+    """
+    order = sorted(
+        range(len(exposed_powers)), key=lambda c: (-exposed_powers[c], c)
+    )
+    return tuple(order[:count])
 
 
 class ComputeBackend(abc.ABC):
@@ -206,6 +291,57 @@ class ComputeBackend(abc.ABC):
         per-trial outcomes as the serial run, so shard results sum back to
         the serial result and a retried shard is bit-identical to its first
         attempt.
+        """
+
+    @abc.abstractmethod
+    def campaign_grid(
+        self,
+        exposure: Sequence[Sequence[float]],
+        powers: Sequence[float],
+        success_probabilities: Sequence[float],
+        points: Sequence[CampaignGridPoint],
+        *,
+        trials: int,
+        seed: int,
+        total_power: float,
+        trial_offset: int = 0,
+        dtype: str = "float64",
+        topk: str = "sort",
+    ) -> Tuple[CampaignGridPointResult, ...]:
+        """Run ``trials`` campaigns at every grid point in one fused call.
+
+        The whole grid shares one staged ``exposure`` matrix, ``powers``
+        vector and base ``success_probabilities`` vector; each point selects
+        columns (explicitly or by ``budget`` top-k) and may override the
+        probabilities.  Per point ``p``, the exploit indicator for trial
+        ``t`` and local cell ``(r, v)`` is::
+
+            campaign_uniform(seed + p.seed_offset,
+                             (trial_offset + t) * R * V_p + r * V_p + v)
+                < probability_p[v]
+
+        with ``V_p = len(columns_p)`` — exactly the stream a standalone
+        :meth:`campaign_trials` call on the column-sliced matrix with seed
+        ``seed + p.seed_offset`` draws.  In the default mode
+        (``dtype="float64"``) every point's result is therefore
+        **bit-identical** to the per-point loop it replaces, across
+        backends, under the same dyadic-power summation caveat as
+        :meth:`campaign_trials`; all the fused call removes is the repeated
+        Python dispatch, RNG staging and matrix slicing.  Each point
+        evaluates every entry of ``tolerances`` as a verdict on the same
+        sampled trials, so tolerance pairs (BFT vs majority) cost one draw.
+
+        ``trial_offset`` shifts every point's trial counter exactly as in
+        :meth:`campaign_trials` — chunked and sharded grid runs partition
+        the serial trial sequence invisibly.
+
+        Fast paths (opt-in, *tolerance*-pinned rather than byte-pinned):
+        ``dtype="float32"`` draws reduced-precision uniforms and accumulates
+        compromised power in float32 (Monte-Carlo noise dominates the
+        difference); ``topk="argpartition"`` ranks ``budget`` selections via
+        ``numpy.argpartition`` on the NumPy backend (ties straddling the
+        partition boundary may select differently).  Backends without a
+        faster implementation fall back to the exact path — never an error.
         """
 
     # -- entropy kernel ---------------------------------------------------------
@@ -347,3 +483,181 @@ def validate_campaign_arguments(
         raise BackendError(f"tolerance must be in (0, 1], got {tolerance}")
     if total_power <= 0:
         raise BackendError(f"total power must be positive, got {total_power}")
+
+
+def validate_grid_arguments(
+    exposure: Sequence[Sequence[float]],
+    powers: Sequence[float],
+    success_probabilities: Sequence[float],
+    points: Sequence[CampaignGridPoint],
+    *,
+    trials: int,
+    total_power: float,
+    trial_offset: int = 0,
+    dtype: str = "float64",
+    topk: str = "sort",
+) -> None:
+    """Shared argument validation for :meth:`ComputeBackend.campaign_grid`.
+
+    Rejects empty grids, duplicate grid points and malformed scenario
+    parameters (NaN/out-of-range tolerances and probabilities, bad column
+    selections) with a :class:`~repro.core.exceptions.BackendError` so a
+    fused call never silently produces a zero-length or garbage result.
+    """
+    from repro.core.exceptions import BackendError
+
+    replica_count = len(powers)
+    column_count = len(success_probabilities)
+    if replica_count == 0:
+        raise BackendError("campaign_grid needs at least one replica")
+    if column_count == 0:
+        raise BackendError("campaign_grid needs at least one vulnerability")
+    if len(exposure) != replica_count:
+        raise BackendError(
+            f"exposure has {len(exposure)} rows for {replica_count} replicas"
+        )
+    for row in exposure:
+        if len(row) != column_count:
+            raise BackendError(
+                f"exposure row has {len(row)} columns for "
+                f"{column_count} vulnerabilities"
+            )
+    if any(power < 0 for power in powers):
+        raise BackendError("replica powers must be non-negative")
+    if any(not 0.0 <= p <= 1.0 for p in success_probabilities):
+        raise BackendError("success probabilities must be in [0, 1]")
+    if trials <= 0:
+        raise BackendError(f"trial count must be positive, got {trials}")
+    if trial_offset < 0:
+        raise BackendError(f"trial offset must be non-negative, got {trial_offset}")
+    if total_power <= 0:
+        raise BackendError(f"total power must be positive, got {total_power}")
+    if dtype not in GRID_DTYPES:
+        raise BackendError(
+            f"grid dtype must be one of {GRID_DTYPES}, got {dtype!r}"
+        )
+    if topk not in GRID_TOPK_MODES:
+        raise BackendError(
+            f"grid topk mode must be one of {GRID_TOPK_MODES}, got {topk!r}"
+        )
+    if len(points) == 0:
+        raise BackendError(
+            "campaign_grid needs at least one grid point — an empty grid is a "
+            "usage error, not an empty result"
+        )
+    for position, point in enumerate(points):
+        where = f"grid point #{position}"
+        if len(point.tolerances) == 0:
+            raise BackendError(f"{where} has no tolerances")
+        for tolerance in point.tolerances:
+            if not 0.0 < tolerance <= 1.0:  # also rejects NaN
+                raise BackendError(
+                    f"{where}: tolerance must be in (0, 1], got {tolerance}"
+                )
+        if (point.columns is None) == (point.budget is None):
+            raise BackendError(
+                f"{where} must set exactly one of columns= or budget="
+            )
+        if point.columns is not None:
+            if len(point.columns) == 0:
+                raise BackendError(f"{where} selects no columns")
+            seen = set()
+            for column in point.columns:
+                if not 0 <= column < column_count:
+                    raise BackendError(
+                        f"{where}: column {column} out of range for "
+                        f"{column_count} vulnerabilities"
+                    )
+                if column in seen:
+                    raise BackendError(f"{where}: duplicate column {column}")
+                seen.add(column)
+        if point.budget is not None:
+            if point.budget < 1:
+                raise BackendError(
+                    f"{where}: budget must be positive, got {point.budget}"
+                )
+            if point.success_probabilities is not None:
+                raise BackendError(
+                    f"{where}: per-column success_probabilities need explicit "
+                    "columns (budget selection is made inside the kernel)"
+                )
+        if (
+            point.success_probabilities is not None
+            and point.success_probability is not None
+        ):
+            raise BackendError(
+                f"{where} sets both success_probabilities and "
+                "success_probability"
+            )
+        if point.success_probabilities is not None:
+            if len(point.success_probabilities) != len(point.columns):
+                raise BackendError(
+                    f"{where}: {len(point.success_probabilities)} probability "
+                    f"overrides for {len(point.columns)} columns"
+                )
+            if any(not 0.0 <= p <= 1.0 for p in point.success_probabilities):
+                raise BackendError(
+                    f"{where}: success probabilities must be in [0, 1]"
+                )
+        if point.success_probability is not None and not (
+            0.0 <= point.success_probability <= 1.0
+        ):
+            raise BackendError(
+                f"{where}: success probability must be in [0, 1], got "
+                f"{point.success_probability}"
+            )
+        if point.seed_offset < 0:
+            raise BackendError(
+                f"{where}: seed offset must be non-negative, got "
+                f"{point.seed_offset}"
+            )
+    if len(set(points)) != len(points):
+        raise BackendError(
+            "campaign_grid points must be distinct — duplicate grid points "
+            "share a seed offset and would silently double-count one scenario"
+        )
+
+
+def resolve_grid_points(
+    points: Sequence[CampaignGridPoint],
+    *,
+    base_probabilities: Sequence[float],
+    seed: int,
+    exposed_powers: Optional[Sequence[float]] = None,
+    topk_fn=grid_topk_columns,
+) -> Tuple[ResolvedGridPoint, ...]:
+    """Turn validated grid points into explicit (columns, probabilities, seed).
+
+    ``exposed_powers`` is required when any point selects by ``budget``;
+    ``topk_fn`` is the ranking used for those selections (backends substitute
+    their ``argpartition`` variant here for the fast path).
+    """
+    resolved = []
+    for point in points:
+        if point.columns is not None:
+            columns = tuple(point.columns)
+        else:
+            if exposed_powers is None:
+                raise ValueError(
+                    "budget grid points need exposed_powers for top-k selection"
+                )
+            columns = tuple(topk_fn(exposed_powers, point.budget))
+        if point.success_probabilities is not None:
+            probabilities = tuple(
+                float(p) for p in point.success_probabilities
+            )
+        elif point.success_probability is not None:
+            probabilities = (float(point.success_probability),) * len(columns)
+        else:
+            probabilities = tuple(
+                float(base_probabilities[column]) for column in columns
+            )
+        resolved.append(
+            ResolvedGridPoint(
+                columns=columns,
+                probabilities=probabilities,
+                tolerances=tuple(point.tolerances),
+                seed=seed + point.seed_offset,
+            )
+        )
+    return tuple(resolved)

@@ -22,6 +22,8 @@ from typing import Sequence, Tuple
 from repro.backend.base import (
     CAMPAIGN_FRACTION_SLACK,
     CampaignBatchResult,
+    CampaignGridPoint,
+    CampaignGridPointResult,
     ComputeBackend,
     TrialBatchResult,
     _INV_2_53,
@@ -29,7 +31,10 @@ from repro.backend.base import (
     _SPLITMIX_GAMMA,
     _SPLITMIX_MIX1,
     _SPLITMIX_MIX2,
+    grid_topk_columns,
+    resolve_grid_points,
     validate_campaign_arguments,
+    validate_grid_arguments,
     validate_trial_arguments,
 )
 from repro.core.exceptions import BackendError
@@ -42,6 +47,22 @@ except ImportError:  # pragma: no cover - depends on environment
 #: Upper bound on the number of matrix cells (trials × configs) drawn per
 #: chunk; 2M float64 cells ≈ 16 MB for the uniform draw plus smaller masks.
 _CHUNK_CELLS = 2_000_000
+
+
+def _argpartition_topk(exposed_powers: Sequence[float], count: int) -> Tuple[int, ...]:
+    """``grid_topk_columns`` via ``argpartition`` — O(V) selection, O(k log k) order.
+
+    The selected set is ordered exactly like the sort path; only *which*
+    columns make the cut can differ when ties straddle the partition
+    boundary (argpartition breaks power ties arbitrarily, the exact path by
+    column index) — hence ``topk="argpartition"`` is tolerance-pinned.
+    """
+    powers = _np.asarray(exposed_powers, dtype=_np.float64)
+    if count >= powers.size:
+        return grid_topk_columns(exposed_powers, count)
+    selected = _np.argpartition(-powers, count - 1)[:count].tolist()
+    selected.sort(key=lambda column: (-powers[column], column))
+    return tuple(selected)
 
 
 class NumpyBackend(ComputeBackend):
@@ -219,6 +240,223 @@ class NumpyBackend(ComputeBackend):
             per_vulnerability_totals=tuple(
                 float(value) for value in per_vulnerability
             ),
+        )
+
+    def campaign_grid(
+        self,
+        exposure: Sequence[Sequence[float]],
+        powers: Sequence[float],
+        success_probabilities: Sequence[float],
+        points: Sequence[CampaignGridPoint],
+        *,
+        trials: int,
+        seed: int,
+        total_power: float,
+        trial_offset: int = 0,
+        dtype: str = "float64",
+        topk: str = "sort",
+    ) -> Tuple[CampaignGridPointResult, ...]:
+        validate_grid_arguments(
+            exposure,
+            powers,
+            success_probabilities,
+            points,
+            trials=trials,
+            total_power=total_power,
+            trial_offset=trial_offset,
+            dtype=dtype,
+            topk=topk,
+        )
+        exposed_mask = _np.asarray(exposure, dtype=_np.float64) > 0
+        power_row = _np.asarray(powers, dtype=_np.float64)
+        exposed = (
+            self.masked_power_sums(exposure, powers)
+            if any(point.budget is not None for point in points)
+            else None
+        )
+        resolved = resolve_grid_points(
+            points,
+            base_probabilities=success_probabilities,
+            seed=seed,
+            exposed_powers=exposed,
+            topk_fn=_argpartition_topk if topk == "argpartition" else grid_topk_columns,
+        )
+        replica_count = exposed_mask.shape[0]
+        float32 = dtype == "float32"
+        # The uniform-vs-probability test is an *integer* compare: the draw
+        # u = z >> 11 is exact in [0, 2^53), and u * 2^-53 < p iff
+        # u < ceil(p * 2^53) (the product is exact in float64, ceil turns the
+        # open real bound into a closed integer one) — the float draw is
+        # never materialized.  The float32 path tests the 24-bit draw
+        # u = z >> 40 against ceil(float32(p) * 2^24) the same way.
+        if float32:
+            draw_shift, scale = _np.uint64(40), float(1 << 24)
+        else:
+            draw_shift, scale = _np.uint64(11), float(1 << 53)
+        point_count = len(resolved)
+        # Flat cell layout: every point's exposed (row, local column) cells —
+        # row-major, which is exactly the counter order r*V + c — concatenate
+        # into one vector with per-cell counter stride, offset, seed and draw
+        # threshold.  The whole grid then mixes as a single trials × cells
+        # 2-D pass per chunk: no per-point staging, dispatch, or padding.
+        mult_parts, offset_parts, seed_parts, threshold_parts = [], [], [], []
+        power_parts, slot_parts = [], []
+        seg_start_parts, seg_point_parts, seg_weight_parts = [], [], []
+        thresholds = []
+        slot_base = []
+        slots = 0
+        cells_total = 0
+        narrow = True
+        for index, point in enumerate(resolved):
+            column_count = len(point.columns)
+            slot_base.append(slots)
+            thresholds.append(
+                _np.asarray(
+                    [t - CAMPAIGN_FRACTION_SLACK for t in point.tolerances],
+                    dtype=_np.float64,
+                )
+            )
+            rows, cols = _np.nonzero(exposed_mask[:, list(point.columns)])
+            if rows.size:
+                narrow = narrow and column_count < 256
+                mult_parts.append(
+                    _np.full(
+                        rows.size,
+                        replica_count * column_count,
+                        dtype=_np.uint64,
+                    )
+                )
+                offset_parts.append(
+                    rows.astype(_np.uint64) * _np.uint64(column_count)
+                    + cols.astype(_np.uint64)
+                )
+                seed_parts.append(
+                    _np.full(rows.size, point.seed & _MASK64, dtype=_np.uint64)
+                )
+                probabilities = _np.asarray(
+                    point.probabilities, dtype=_np.float64
+                )
+                if float32:
+                    probabilities = probabilities.astype(_np.float32).astype(
+                        _np.float64
+                    )
+                threshold_parts.append(
+                    _np.ceil(probabilities[cols] * scale).astype(_np.uint64)
+                )
+                power_parts.append(power_row[rows])
+                slot_parts.append(slots + cols)
+                # Cells sort row-major, so each (point, replica) pair is one
+                # contiguous run — "hit through any column" is a reduceat.
+                hit_rows, row_starts = _np.unique(rows, return_index=True)
+                seg_start_parts.append(cells_total + row_starts)
+                seg_point_parts.append(
+                    _np.full(hit_rows.size, index, dtype=_np.int64)
+                )
+                seg_weight_parts.append(power_row[hit_rows])
+                cells_total += rows.size
+            slots += column_count
+        per_vulnerability = _np.zeros(slots, dtype=_np.float64)
+        violations = [
+            _np.zeros(point_thresholds.size, dtype=_np.int64)
+            for point_thresholds in thresholds
+        ]
+        compromised_totals = _np.zeros(point_count, dtype=_np.float64)
+        if cells_total == 0:
+            # No exposed cells anywhere: nothing is ever compromised, but a
+            # trial still "violates" any (degenerate) threshold at or below
+            # zero, exactly like the scalar path.
+            for index, point_thresholds in enumerate(thresholds):
+                violations[index][point_thresholds <= 0.0] = trials
+        else:
+            cell_mult = _np.concatenate(mult_parts)
+            cell_offset = _np.concatenate(offset_parts) + _np.uint64(1)
+            cell_seed = _np.concatenate(seed_parts)
+            cell_threshold = _np.concatenate(threshold_parts)
+            cell_power = _np.concatenate(power_parts)
+            cell_slot = _np.concatenate(slot_parts)
+            seg_starts = _np.concatenate(seg_start_parts)
+            seg_point = _np.concatenate(seg_point_parts)
+            seg_weight = _np.concatenate(seg_weight_parts)
+            # Block-sparse segment→point weight matrix: one BLAS matmul turns
+            # per-(trial, replica) hits into every point's compromised power.
+            weights = _np.zeros(
+                (seg_starts.size, point_count),
+                dtype=_np.float32 if float32 else _np.float64,
+            )
+            weights[_np.arange(seg_starts.size), seg_point] = seg_weight
+            gamma = _np.uint64(_SPLITMIX_GAMMA)
+            chunk_trials = max(1, _CHUNK_CELLS // cells_total)
+            z_buffer = _np.empty((chunk_trials, cells_total), dtype=_np.uint64)
+            mix_buffer = _np.empty_like(z_buffer)
+            success_buffer = _np.empty(z_buffer.shape, dtype=_np.bool_)
+            start = 0
+            while start < trials:
+                batch = min(chunk_trials, trials - start)
+                z = z_buffer[:batch]
+                mixed = mix_buffer[:batch]
+                success = success_buffer[:batch]
+                trial_ids = _np.arange(
+                    trial_offset + start,
+                    trial_offset + start + batch,
+                    dtype=_np.uint64,
+                )
+                # z = seed + (trial*stride + offset + 1) * gamma, all in
+                # place on two chunk-sized buffers.
+                _np.multiply(trial_ids[:, None], cell_mult[None, :], out=z)
+                z += cell_offset[None, :]
+                z *= gamma
+                z += cell_seed[None, :]
+                _np.right_shift(z, _np.uint64(30), out=mixed)
+                z ^= mixed
+                z *= _np.uint64(_SPLITMIX_MIX1)
+                _np.right_shift(z, _np.uint64(27), out=mixed)
+                z ^= mixed
+                z *= _np.uint64(_SPLITMIX_MIX2)
+                _np.right_shift(z, _np.uint64(31), out=mixed)
+                z ^= mixed
+                _np.right_shift(z, draw_shift, out=mixed)
+                _np.less(mixed, cell_threshold[None, :], out=success)
+                # Per-cell success counts are exact integers, so the
+                # per-column power totals reduce to one bincount regardless
+                # of dtype mode.
+                counts = success.sum(axis=0, dtype=_np.int64)
+                per_vulnerability += _np.bincount(
+                    cell_slot, weights=counts * cell_power, minlength=slots
+                )
+                # uint8 row counts suffice below 256 columns per point (a
+                # row has at most one cell per selected column).
+                if narrow:
+                    hit = (
+                        _np.add.reduceat(
+                            success.view(_np.uint8), seg_starts, axis=1
+                        )
+                        > 0
+                    )
+                else:
+                    hit = _np.logical_or.reduceat(success, seg_starts, axis=1)
+                compromised = (hit @ weights).astype(_np.float64)
+                fractions = compromised / total_power
+                for index, point_thresholds in enumerate(thresholds):
+                    violations[index] += (
+                        fractions[:, index][:, None]
+                        >= point_thresholds[None, :]
+                    ).sum(axis=0)
+                compromised_totals += compromised.sum(axis=0)
+                start += batch
+        return tuple(
+            CampaignGridPointResult(
+                trials=trials,
+                columns=point.columns,
+                violations=tuple(int(v) for v in violations[index]),
+                compromised_total=float(compromised_totals[index]),
+                per_vulnerability_totals=tuple(
+                    float(v)
+                    for v in per_vulnerability[
+                        slot_base[index] : slot_base[index] + len(point.columns)
+                    ]
+                ),
+            )
+            for index, point in enumerate(resolved)
         )
 
     def shannon_entropy(self, probabilities: Sequence[float], *, base: float = 2.0) -> float:

@@ -16,6 +16,8 @@ from typing import Sequence, Tuple
 from repro.backend.base import (
     CAMPAIGN_FRACTION_SLACK,
     CampaignBatchResult,
+    CampaignGridPoint,
+    CampaignGridPointResult,
     ComputeBackend,
     TrialBatchResult,
     _INV_2_53,
@@ -23,11 +25,77 @@ from repro.backend.base import (
     _SPLITMIX_GAMMA,
     _SPLITMIX_MIX1,
     _SPLITMIX_MIX2,
+    resolve_grid_points,
     validate_campaign_arguments,
+    validate_grid_arguments,
     validate_trial_arguments,
 )
 from repro.core import entropy as entropy_module
 from repro.core.exceptions import BackendError
+
+
+def _scalar_campaign(
+    exposed_rows: Sequence[Sequence[int]],
+    powers: Sequence[float],
+    probabilities: Sequence[float],
+    *,
+    trials: int,
+    seed: int,
+    thresholds: Sequence[float],
+    total_power: float,
+    trial_offset: int,
+) -> Tuple[Tuple[int, ...], float, Tuple[float, ...]]:
+    """Shared scalar campaign loop, one exploit draw per multi-threshold verdict.
+
+    ``exposed_rows[c]`` lists the replica rows exposed to local column ``c``;
+    the uniform for cell ``(trial, row, column)`` is drawn at counter index
+    ``(trial_offset + trial) * R * V + row * V + column`` so a grid point's
+    sub-stream matches a standalone :meth:`campaign_trials` call on the
+    column-sliced matrix.  Returns per-threshold violation counts plus the
+    threshold-independent compromised/per-column totals.
+    """
+    replica_count = len(powers)
+    column_count = len(probabilities)
+    seed64 = seed & _MASK64
+    cells_per_trial = replica_count * column_count
+    violations = [0] * len(thresholds)
+    compromised_total = 0.0
+    per_vulnerability = [0.0] * column_count
+    for trial in range(trials):
+        base_index = (trial_offset + trial) * cells_per_trial
+        hit = [False] * replica_count
+        for column, probability in enumerate(probabilities):
+            if probability <= 0.0:
+                continue
+            certain = probability >= 1.0
+            column_power = 0.0
+            for row in exposed_rows[column]:
+                if not certain:
+                    # Inline campaign_uniform (splitmix64) — this is the
+                    # scalar hot loop.
+                    z = (
+                        seed64
+                        + (base_index + row * column_count + column + 1)
+                        * _SPLITMIX_GAMMA
+                    ) & _MASK64
+                    z = ((z ^ (z >> 30)) * _SPLITMIX_MIX1) & _MASK64
+                    z = ((z ^ (z >> 27)) * _SPLITMIX_MIX2) & _MASK64
+                    z ^= z >> 31
+                    if (z >> 11) * _INV_2_53 >= probability:
+                        continue
+                column_power += powers[row]
+                hit[row] = True
+            per_vulnerability[column] += column_power
+        compromised = 0.0
+        for row in range(replica_count):
+            if hit[row]:
+                compromised += powers[row]
+        compromised_total += compromised
+        fraction = compromised / total_power
+        for position, threshold in enumerate(thresholds):
+            if fraction >= threshold:
+                violations[position] += 1
+    return tuple(violations), compromised_total, tuple(per_vulnerability)
 
 
 class PythonBackend(ComputeBackend):
@@ -123,50 +191,95 @@ class PythonBackend(ComputeBackend):
             tuple(row for row in range(replica_count) if exposure[row][column])
             for column in range(column_count)
         )
-        seed64 = seed & _MASK64
-        threshold = tolerance - CAMPAIGN_FRACTION_SLACK
-        cells_per_trial = replica_count * column_count
-        violations = 0
-        compromised_total = 0.0
-        per_vulnerability = [0.0] * column_count
-        for trial in range(trials):
-            base_index = (trial_offset + trial) * cells_per_trial
-            hit = [False] * replica_count
-            for column, probability in enumerate(success_probabilities):
-                if probability <= 0.0:
-                    continue
-                certain = probability >= 1.0
-                column_power = 0.0
-                for row in exposed_rows[column]:
-                    if not certain:
-                        # Inline campaign_uniform (splitmix64) — this is the
-                        # scalar hot loop.
-                        z = (
-                            seed64
-                            + (base_index + row * column_count + column + 1)
-                            * _SPLITMIX_GAMMA
-                        ) & _MASK64
-                        z = ((z ^ (z >> 30)) * _SPLITMIX_MIX1) & _MASK64
-                        z = ((z ^ (z >> 27)) * _SPLITMIX_MIX2) & _MASK64
-                        z ^= z >> 31
-                        if (z >> 11) * _INV_2_53 >= probability:
-                            continue
-                    column_power += powers[row]
-                    hit[row] = True
-                per_vulnerability[column] += column_power
-            compromised = 0.0
-            for row in range(replica_count):
-                if hit[row]:
-                    compromised += powers[row]
-            compromised_total += compromised
-            if compromised / total_power >= threshold:
-                violations += 1
+        violations, compromised_total, per_vulnerability = _scalar_campaign(
+            exposed_rows,
+            powers,
+            success_probabilities,
+            trials=trials,
+            seed=seed,
+            thresholds=(tolerance - CAMPAIGN_FRACTION_SLACK,),
+            total_power=total_power,
+            trial_offset=trial_offset,
+        )
         return CampaignBatchResult(
             trials=trials,
-            violations=violations,
+            violations=violations[0],
             compromised_total=compromised_total,
-            per_vulnerability_totals=tuple(per_vulnerability),
+            per_vulnerability_totals=per_vulnerability,
         )
+
+    def campaign_grid(
+        self,
+        exposure: Sequence[Sequence[float]],
+        powers: Sequence[float],
+        success_probabilities: Sequence[float],
+        points: Sequence[CampaignGridPoint],
+        *,
+        trials: int,
+        seed: int,
+        total_power: float,
+        trial_offset: int = 0,
+        dtype: str = "float64",
+        topk: str = "sort",
+    ) -> Tuple[CampaignGridPointResult, ...]:
+        validate_grid_arguments(
+            exposure,
+            powers,
+            success_probabilities,
+            points,
+            trials=trials,
+            total_power=total_power,
+            trial_offset=trial_offset,
+            dtype=dtype,
+            topk=topk,
+        )
+        # The scalar backend has no reduced-precision or partition fast path:
+        # both knobs fall back to the exact float64/sort route, per contract.
+        exposed = (
+            self.masked_power_sums(exposure, powers)
+            if any(point.budget is not None for point in points)
+            else None
+        )
+        resolved = resolve_grid_points(
+            points,
+            base_probabilities=success_probabilities,
+            seed=seed,
+            exposed_powers=exposed,
+        )
+        replica_count = len(powers)
+        results = []
+        for point in resolved:
+            exposed_rows = tuple(
+                tuple(
+                    row
+                    for row in range(replica_count)
+                    if exposure[row][column]
+                )
+                for column in point.columns
+            )
+            violations, compromised_total, per_vulnerability = _scalar_campaign(
+                exposed_rows,
+                powers,
+                point.probabilities,
+                trials=trials,
+                seed=point.seed,
+                thresholds=tuple(
+                    tolerance - CAMPAIGN_FRACTION_SLACK
+                    for tolerance in point.tolerances
+                ),
+                total_power=total_power,
+                trial_offset=trial_offset,
+            )
+            results.append(
+                CampaignGridPointResult(
+                    trials=trials,
+                    columns=point.columns,
+                    violations=violations,
+                    compromised_total=compromised_total,
+                    per_vulnerability_totals=per_vulnerability,
+                )
+            )
+        return tuple(results)
 
     def shannon_entropy(self, probabilities: Sequence[float], *, base: float = 2.0) -> float:
         return entropy_module.shannon_entropy(probabilities, base=base)

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Eight subcommands cover the common workflows without writing Python:
+Nine subcommands cover the common workflows without writing Python:
 
 - ``list``     — show the available experiments (one per paper artifact);
 - ``run``      — run experiments through the orchestrator: name/tag
@@ -29,7 +29,11 @@ Eight subcommands cover the common workflows without writing Python:
 - ``bench-campaign`` — time the batched campaign engine (scalar python loop
   vs vectorized batch) on every available backend and optionally write the
   ``BENCH_5.json`` snapshot; the backends must produce identical campaign
-  results, so this doubles as a cross-backend identity check.
+  results, so this doubles as a cross-backend identity check;
+- ``bench-grid`` — time the fused grid campaign engine (one kernel call for
+  a whole budgets × reliabilities sweep) against the looped per-point path
+  and the scalar python loop, asserting fused/looped bit-identity, and
+  optionally write the ``BENCH_8.json`` snapshot.
 
 Every subcommand honors the global ``--backend`` flag (and the
 ``REPRO_BACKEND`` environment variable) to select the compute backend.
@@ -51,6 +55,7 @@ Examples::
     python -m repro.cli backends
     python -m repro.cli bench --trials 10000 --configs 1000 --output BENCH_1.json
     python -m repro.cli bench-campaign --trials 10000 --output BENCH_5.json
+    python -m repro.cli bench-grid --trials 10000 --output BENCH_8.json
 """
 
 from __future__ import annotations
@@ -68,6 +73,10 @@ from repro.analysis.benchmark import benchmark_backends, write_snapshot
 from repro.analysis.campaign_benchmark import (
     benchmark_campaigns,
     write_campaign_snapshot,
+)
+from repro.analysis.grid_benchmark import (
+    benchmark_grid,
+    write_grid_snapshot,
 )
 from repro.faults.scenarios import ECOSYSTEM_GENERATORS
 from repro.analysis.report import Table
@@ -471,6 +480,55 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the JSON perf snapshot here (e.g. BENCH_5.json)",
+    )
+
+    bench_grid_parser = subparsers.add_parser(
+        "bench-grid",
+        help="time the fused grid campaign engine against the looped and "
+        "scalar paths",
+    )
+    bench_grid_parser.add_argument("--trials", type=int, default=10_000)
+    bench_grid_parser.add_argument(
+        "--replicas", type=int, default=150, help="population size"
+    )
+    bench_grid_parser.add_argument(
+        "--ecosystem",
+        choices=sorted(ECOSYSTEM_GENERATORS),
+        default="default",
+        help="ecosystem the benchmark population samples from",
+    )
+    bench_grid_parser.add_argument(
+        "--budgets",
+        type=int,
+        nargs="+",
+        default=[1, 2, 3, 4, 5, 6, 7, 8],
+        metavar="M",
+        help="adversary budgets forming one grid axis",
+    )
+    bench_grid_parser.add_argument(
+        "--probabilities",
+        type=float,
+        nargs="+",
+        default=[0.45, 0.6, 0.75],
+        metavar="P",
+        help="exploit success probabilities forming the other grid axis",
+    )
+    bench_grid_parser.add_argument("--seed", type=int, default=42)
+    bench_grid_parser.add_argument(
+        "--repeats", type=int, default=2, help="timed repeats per mode (best counts)"
+    )
+    bench_grid_parser.add_argument(
+        "--scalar-trials",
+        type=int,
+        default=400,
+        help="trial count for the scalar python modes (the full workload "
+        "takes minutes scalar; speedups compare point-trial throughput)",
+    )
+    bench_grid_parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the JSON perf snapshot here (e.g. BENCH_8.json)",
     )
     return parser
 
@@ -900,6 +958,48 @@ def _command_bench_campaign(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_grid(arguments: argparse.Namespace) -> int:
+    report = benchmark_grid(
+        trials=arguments.trials,
+        replicas=arguments.replicas,
+        ecosystem=arguments.ecosystem,
+        budgets=tuple(arguments.budgets),
+        probabilities=tuple(arguments.probabilities),
+        seed=arguments.seed,
+        repeats=arguments.repeats,
+        scalar_trials=arguments.scalar_trials,
+    )
+    print(
+        f"grid engine bench: {report.grid_points} grid points x "
+        f"{report.trials} trials x {report.replicas} replicas "
+        f"({report.ecosystem} ecosystem, budgets={list(report.budgets)}, "
+        f"p_exploit={list(report.probabilities)}, seed={report.seed})"
+    )
+    table = Table(headers=("mode", "trials", "seconds", "point-trials/sec"))
+    for timing in report.timings:
+        table.add_row(
+            timing.mode,
+            timing.trials,
+            timing.seconds,
+            timing.point_trials_per_second,
+        )
+    print(table.render())
+    fused_over_looped = report.speedup_fused_over_looped()
+    if fused_over_looped is not None:
+        print(f"fused over looped (numpy, same workload): {fused_over_looped:.1f}x")
+    fused_over_scalar = report.speedup_fused_numpy_over_scalar()
+    if fused_over_scalar is not None:
+        print(f"fused numpy over scalar python (throughput): {fused_over_scalar:.1f}x")
+    print(
+        "fused grid identical to looped campaigns: "
+        f"{report.identical_fused_vs_looped}"
+    )
+    if arguments.output:
+        write_grid_snapshot(report, arguments.output)
+        print(f"snapshot written to {arguments.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -928,6 +1028,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_bench(arguments)
         if arguments.command == "bench-campaign":
             return _command_bench_campaign(arguments)
+        if arguments.command == "bench-grid":
+            return _command_bench_grid(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

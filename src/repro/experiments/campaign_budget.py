@@ -3,11 +3,11 @@
 The Section II-C condition bounds the *sum* of per-vulnerability compromised
 powers, so the attacker's exploit budget ``m`` (how many distinct zero-days
 they can weaponize simultaneously) is a first-order knob.  This experiment
-sweeps that budget against one ecosystem-sampled population: for each budget
-the :class:`~repro.faults.engine.BatchCampaignEngine` runs hundreds of
-randomized worst-case campaigns as one batched backend kernel call and
-reports the violation probability at the BFT (1/3) and majority (1/2)
-tolerances.
+sweeps that budget against one ecosystem-sampled population: the
+:class:`~repro.faults.engine.GridCampaignEngine` runs the *entire* sweep —
+every budget, hundreds of randomized worst-case campaigns each — as one
+fused backend kernel call, judging the BFT (1/3) and majority (1/2)
+tolerances on the same shared exploit draws.
 
 Expected shape: the violation probability grows monotonically with the
 budget — each extra exploit can only add compromised power — and the gap
@@ -33,8 +33,8 @@ from repro.experiments.orchestrator import (
     ResultPayload,
     execute_spec,
 )
-from repro.faults.engine import BatchCampaignEngine, CampaignEstimate
-from repro.faults.scenarios import ecosystem_scenario
+from repro.faults.engine import CampaignEstimate, GridCampaignEngine
+from repro.faults.scenarios import budget_grid, ecosystem_scenario
 
 
 @dataclass(frozen=True)
@@ -80,23 +80,22 @@ def run_campaign_budget(
         seed=seed,
         exploit_probability=exploit_probability,
     )
-    engine = BatchCampaignEngine(scenario.population, scenario.catalog)
+    engine = GridCampaignEngine(scenario.population, scenario.catalog)
+    # The whole sweep is one fused kernel call: every budget is a grid point
+    # at seed offset ``index`` (the looped sweep's ``seed + index``), and both
+    # tolerance levels judge the same sampled campaigns from one exploit draw.
+    estimates = engine.estimate_grid(
+        budget_grid(
+            tuple(budgets),
+            families=(ProtocolFamily.BFT, ProtocolFamily.NAKAMOTO),
+        ),
+        trials=trials,
+        seed=seed,
+    )
     rows = []
-    for index, budget in enumerate(budgets):
-        # Both tolerance levels reuse the same seed, so they judge the exact
-        # same sampled campaigns and differ only in the verdict threshold.
-        bft: CampaignEstimate = engine.estimate_worst_case(
-            max_vulnerabilities=budget,
-            trials=trials,
-            seed=seed + index,
-            family=ProtocolFamily.BFT,
-        )
-        majority = engine.estimate_worst_case(
-            max_vulnerabilities=budget,
-            trials=trials,
-            seed=seed + index,
-            family=ProtocolFamily.NAKAMOTO,
-        )
+    for budget, point in zip(budgets, estimates):
+        bft: CampaignEstimate = point.estimate_at(0)
+        majority = point.estimate_at(1)
         rows.append(
             CampaignBudgetRow(
                 budget=budget,

@@ -6,9 +6,10 @@ toward the ecosystem's market shares (monocultures self-reinforce).  This
 experiment makes the consequence quantitative: one continuous churn
 trajectory is snapshotted at evenly spaced steps
 (:func:`repro.faults.scenarios.churned_scenarios`), each snapshot is
-re-cataloged, and the :class:`~repro.faults.engine.BatchCampaignEngine`
+re-cataloged, and the :class:`~repro.faults.engine.GridCampaignEngine`
 estimates the worst-case bounded-budget violation probability at every
-checkpoint with one batched backend call.
+checkpoint through the fused grid kernel (each checkpoint has its own
+population, so it runs as a single-point grid on its own engine).
 
 Expected shape: the violation probability drifts with the census even while
 the entropy only wobbles — new joiners follow the ecosystem's market shares,
@@ -35,8 +36,8 @@ from repro.experiments.orchestrator import (
     ResultPayload,
     execute_spec,
 )
-from repro.faults.engine import BatchCampaignEngine
-from repro.faults.scenarios import churned_scenarios
+from repro.faults.engine import GridCampaignEngine
+from repro.faults.scenarios import churn_checkpoint_grid, churned_scenarios
 
 
 @dataclass(frozen=True)
@@ -89,13 +90,16 @@ def run_campaign_churn(
     )
     rows = []
     for index, (step, scenario) in enumerate(trajectory):
-        engine = BatchCampaignEngine(scenario.population, scenario.catalog)
-        estimate = engine.estimate_worst_case(
-            max_vulnerabilities=budget,
+        engine = GridCampaignEngine(scenario.population, scenario.catalog)
+        # ``seed_offset=index`` keeps the looped sweep's ``seed + index``
+        # sub-stream, so the checkpoint numbers are bit-identical to it.
+        estimate = engine.estimate_grid(
+            churn_checkpoint_grid(
+                index, budget=budget, families=(ProtocolFamily.BFT,)
+            ),
             trials=trials,
-            seed=seed + index,
-            family=ProtocolFamily.BFT,
-        )
+            seed=seed,
+        )[0].estimate_at(0)
         rows.append(
             CampaignChurnRow(
                 step=step,

@@ -4,11 +4,11 @@ Section II-B's adversary exploits shared implementation flaws, but a
 real-world exploit rarely lands on every exposed replica: sandboxing, ASLR,
 version skew and plain flakiness make each attempt succeed only with some
 probability.  This experiment sweeps that per-replica success probability
-over a fixed ecosystem-sampled population: the population and its component
-catalog stay identical across points, only the catalog's exploit reliability
-changes, and for each point the
-:class:`~repro.faults.engine.BatchCampaignEngine` samples hundreds of
-randomized worst-case campaigns in one batched backend call.
+over a fixed ecosystem-sampled population: worst-case target selection
+depends only on exposure (never on success probabilities), so the
+:class:`~repro.faults.engine.GridCampaignEngine` runs the whole sweep on one
+population/catalog pair as a single fused kernel call, each grid point
+overriding the per-replica success probability.
 
 Expected shape: the violation probability climbs from near 0 for unreliable
 exploits toward the deterministic-campaign verdict at reliability 1.0 —
@@ -32,8 +32,8 @@ from repro.experiments.orchestrator import (
     ResultPayload,
     execute_spec,
 )
-from repro.faults.engine import BatchCampaignEngine
-from repro.faults.scenarios import reliability_scenarios
+from repro.faults.engine import GridCampaignEngine
+from repro.faults.scenarios import ecosystem_scenario, reliability_grid
 
 
 @dataclass(frozen=True)
@@ -71,29 +71,32 @@ def run_campaign_reliability(
         raise ExperimentError("at least one exploit probability is required")
     if budget <= 0:
         raise ExperimentError(f"exploit budget must be positive, got {budget}")
-    scenarios = reliability_scenarios(
-        tuple(exploit_probabilities),
+    # One scenario, one engine, one fused kernel call for the whole sweep:
+    # only the exploit reliability varies across points, and the grid's
+    # per-point success-probability override reproduces the looped sweep's
+    # one-catalog-per-probability scenarios bit for bit (worst-case target
+    # selection never consults success probabilities).
+    scenario = ecosystem_scenario(
         ecosystem=ecosystem,
         population_size=population_size,
         seed=seed,
+        exploit_probability=exploit_probabilities[0],
+    )
+    catalog_size = len(scenario.catalog)
+    engine = GridCampaignEngine(scenario.population, scenario.catalog)
+    estimates = engine.estimate_grid(
+        reliability_grid(
+            tuple(exploit_probabilities),
+            budget=budget,
+            families=(ProtocolFamily.BFT, ProtocolFamily.NAKAMOTO),
+        ),
+        trials=trials,
+        seed=seed,
     )
     rows = []
-    catalog_size = 0
-    for index, (probability, scenario) in enumerate(scenarios.items()):
-        catalog_size = len(scenario.catalog)
-        engine = BatchCampaignEngine(scenario.population, scenario.catalog)
-        bft = engine.estimate_worst_case(
-            max_vulnerabilities=budget,
-            trials=trials,
-            seed=seed + index,
-            family=ProtocolFamily.BFT,
-        )
-        majority = engine.estimate_worst_case(
-            max_vulnerabilities=budget,
-            trials=trials,
-            seed=seed + index,
-            family=ProtocolFamily.NAKAMOTO,
-        )
+    for probability, point in zip(exploit_probabilities, estimates):
+        bft = point.estimate_at(0)
+        majority = point.estimate_at(1)
         rows.append(
             CampaignReliabilityRow(
                 exploit_probability=probability,

@@ -225,8 +225,10 @@ class ResultCache:
             result = ExperimentResult.from_dict(document)
         except OrchestrationError:
             return None
+        # Kernel counters describe the run that *built* the result; a cache
+        # hit ran no kernels, so they reset along with the cached flag.
         return result.with_volatile(
-            wall_time_seconds=result.wall_time_seconds, cached=True
+            wall_time_seconds=result.wall_time_seconds, cached=True, kernel_counters={}
         )
 
     def store(

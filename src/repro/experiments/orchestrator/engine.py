@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.backend import get_backend
 from repro.backend.selection import use_backend
+from repro.backend.timing import KERNEL_TIMINGS
 from repro.experiments.orchestrator.cache import ResultCache
 from repro.experiments.orchestrator.resilient import DEFAULT_RETRIES, ResilientExecutor
 from repro.experiments.orchestrator.result import ExperimentResult, jsonify
@@ -54,6 +55,9 @@ def execute_spec(
     if params is None:
         params = spec.default_params()
     params_doc = spec.params_dict(params)
+    # Builds run in-process (or inside a pool worker's process), so the
+    # registry delta over the build is exactly this experiment's kernel work.
+    timings_before = KERNEL_TIMINGS.snapshot()
     start = time.perf_counter()
     if backend is None:
         payload = spec.build(params)
@@ -70,6 +74,7 @@ def execute_spec(
         backend=resolved,
         seed=spec.seed,
         wall_time_seconds=elapsed,
+        kernel_counters=KERNEL_TIMINGS.delta_since(timings_before),
     )
 
 

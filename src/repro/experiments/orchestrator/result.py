@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import json
 import numbers
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.report import Table
@@ -95,6 +95,11 @@ class ExperimentResult:
         seed: the experiment's base RNG seed (``None`` when deterministic).
         wall_time_seconds: volatile — excluded from the canonical view.
         cached: volatile — whether this result came from the on-disk cache.
+        kernel_counters: volatile — per-kernel ``{calls, seconds, trials}``
+            accumulated while this result was built (empty on cache hits and
+            for experiments that never touch the backend kernels).  Like wall
+            time, it describes *this run*, not the result, so it never enters
+            the canonical view.
     """
 
     experiment_id: str
@@ -106,6 +111,7 @@ class ExperimentResult:
     schema_version: int = RESULT_SCHEMA_VERSION
     wall_time_seconds: float = 0.0
     cached: bool = False
+    kernel_counters: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
 
     def canonical_dict(self) -> Dict[str, Any]:
         """The deterministic JSON view (no wall time, no cache provenance)."""
@@ -133,6 +139,9 @@ class ExperimentResult:
         document = self.canonical_dict()
         document["wall_time_seconds"] = float(self.wall_time_seconds)
         document["cached"] = bool(self.cached)
+        document["kernel_counters"] = jsonify(
+            self.kernel_counters, where=f"{self.experiment_id} kernel counters"
+        )
         return document
 
     @classmethod
@@ -154,13 +163,20 @@ class ExperimentResult:
                 schema_version=int(document.get("schema_version", RESULT_SCHEMA_VERSION)),
                 wall_time_seconds=float(document.get("wall_time_seconds", 0.0)),
                 cached=bool(document.get("cached", False)),
+                kernel_counters=dict(document.get("kernel_counters") or {}),
             )
         except (KeyError, TypeError, ValueError, ReproError) as error:
             # ReproError covers AnalysisError from Table.from_dict: every
             # malformed document surfaces as one exception type here.
             raise OrchestrationError(f"malformed experiment result document: {error}") from error
 
-    def with_volatile(self, *, wall_time_seconds: float, cached: bool) -> "ExperimentResult":
+    def with_volatile(
+        self,
+        *,
+        wall_time_seconds: float,
+        cached: bool,
+        kernel_counters: Optional[Mapping[str, Mapping[str, float]]] = None,
+    ) -> "ExperimentResult":
         """A copy with the volatile fields replaced (canonical view unchanged)."""
         return ExperimentResult(
             experiment_id=self.experiment_id,
@@ -172,6 +188,9 @@ class ExperimentResult:
             schema_version=self.schema_version,
             wall_time_seconds=wall_time_seconds,
             cached=cached,
+            kernel_counters=(
+                self.kernel_counters if kernel_counters is None else kernel_counters
+            ),
         )
 
 

@@ -27,8 +27,14 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.backend import get_backend
-from repro.backend.base import CampaignBatchResult, TrialBatchResult
+from repro.backend.base import (
+    CampaignBatchResult,
+    CampaignGridPoint,
+    CampaignGridPointResult,
+    TrialBatchResult,
+)
 from repro.backend.selection import BackendLike
+from repro.backend.timing import timed_kernel
 from repro.core.distribution import ConfigurationDistribution
 from repro.core.exceptions import FaultModelError
 from repro.core.population import ReplicaPopulation
@@ -148,15 +154,16 @@ class BatchCampaignEngine:
             else:
                 exposure_rows, probabilities = self._matrix.columns_for(plan.exploited)
                 exposure_array = resolved.asarray_matrix(exposure_rows)
-            batch = resolved.campaign_trials(
-                exposure_array,
-                self._matrix.powers_array(resolved),
-                probabilities,
-                trials=trials,
-                seed=seed,
-                tolerance=plan.tolerance,
-                total_power=self._matrix.total_power,
-            )
+            with timed_kernel("campaign_trials", trials=trials):
+                batch = resolved.campaign_trials(
+                    exposure_array,
+                    self._matrix.powers_array(resolved),
+                    probabilities,
+                    trials=trials,
+                    seed=seed,
+                    tolerance=plan.tolerance,
+                    total_power=self._matrix.total_power,
+                )
         return self._finalize(plan, trials, batch)
 
     def _plan(
@@ -342,16 +349,17 @@ def _campaign_shard_worker(
     """
     chaos_checkpoint("task", key=f"campaign-shard:{trial_offset}+{trials}")
     resolved = get_backend(backend_name)
-    batch = resolved.campaign_trials(
-        resolved.asarray_matrix(exposure_rows),
-        resolved.asarray(powers),
-        success_probabilities,
-        trials=trials,
-        seed=seed,
-        tolerance=tolerance,
-        total_power=total_power,
-        trial_offset=trial_offset,
-    )
+    with timed_kernel("campaign_trials", trials=trials):
+        batch = resolved.campaign_trials(
+            resolved.asarray_matrix(exposure_rows),
+            resolved.asarray(powers),
+            success_probabilities,
+            trials=trials,
+            seed=seed,
+            tolerance=tolerance,
+            total_power=total_power,
+            trial_offset=trial_offset,
+        )
     return {
         "trials": batch.trials,
         "violations": batch.violations,
@@ -475,6 +483,560 @@ class ShardedCampaignRun:
         return engine._finalize(plan, trials, merge_campaign_batches(batches))
 
 
+# -- fused grid campaigns ------------------------------------------------------
+
+
+#: Default bound on (grid points × replicas × columns × chunk trials) cells a
+#: single fused kernel call may cover; larger grids split the trial range into
+#: chunks under this cap, invisibly to results (``trial_offset`` pins every
+#: chunk's slice of the counter-based stream).  Peak *memory* is bounded by
+#: the kernels themselves (they stream trials through fixed-size internal
+#: buffers), so the default is generous — the cap mainly keeps a pathological
+#: grid from monopolizing one kernel call, and tests/shards lower it to
+#: exercise the chunk seam.
+DEFAULT_GRID_CHUNK_CELLS = 400_000_000
+
+
+@dataclass(frozen=True)
+class GridPointRequest:
+    """One engine-level grid point: targets, verdicts and per-point knobs.
+
+    Attributes:
+        tolerances: compromised-power fractions evaluated as verdicts on the
+            same sampled trials (a BFT/majority pair costs one exploit draw).
+        vulnerability_ids: explicit catalog ids to exploit, in selection
+            order (mutually exclusive with ``worst_case``).
+        worst_case: exploit the ``worst_case`` most damaging vulnerabilities
+            (greedy by exposed power, id tie-break — the same selection as
+            :meth:`BatchCampaignEngine.estimate_worst_case`).
+        success_probability: override every exploited vulnerability's
+            success probability at this point (how a reliability sweep
+            varies one knob without re-cataloging).
+        seed_offset: the point's RNG seed is ``grid seed + seed_offset``;
+            matching the per-point ``seed + index`` convention of the looped
+            sweeps keeps fused results bit-identical to them.
+    """
+
+    tolerances: Tuple[float, ...]
+    vulnerability_ids: Optional[Tuple[str, ...]] = None
+    worst_case: Optional[int] = None
+    success_probability: Optional[float] = None
+    seed_offset: int = 0
+
+
+@dataclass(frozen=True)
+class _GridPlan:
+    """A validated grid point: requested ids, gated targets, matrix columns."""
+
+    ids: Tuple[str, ...]
+    exploited: Tuple[str, ...]
+    columns: Tuple[int, ...]
+    tolerances: Tuple[float, ...]
+    success_probability: Optional[float]
+    seed_offset: int
+
+
+@dataclass(frozen=True)
+class GridPointEstimate:
+    """One grid point's estimates at every requested tolerance.
+
+    The per-draw quantities (``mean_compromised_fraction``,
+    ``mean_power_per_vulnerability``) are tolerance-independent — all
+    tolerances judge the same sampled campaigns.
+    """
+
+    ids: Tuple[str, ...]
+    exploited: Tuple[str, ...]
+    trials: int
+    tolerances: Tuple[float, ...]
+    violations: Tuple[int, ...]
+    violation_probabilities: Tuple[float, ...]
+    mean_compromised_fraction: float
+    total_power: float
+    mean_power_per_vulnerability: Tuple[Tuple[str, float], ...]
+
+    def estimate_at(self, index: int) -> CampaignEstimate:
+        """This point's verdict at ``tolerances[index]`` as a :class:`CampaignEstimate`.
+
+        Field-for-field what :meth:`BatchCampaignEngine.estimate` returns for
+        the same targets, seed and tolerance — the adapter the re-plumbed
+        sweep experiments build their rows from.
+        """
+        return CampaignEstimate(
+            exploited=self.exploited,
+            trials=self.trials,
+            violations=self.violations[index],
+            violation_probability=self.violation_probabilities[index],
+            mean_compromised_fraction=self.mean_compromised_fraction,
+            tolerated_fraction=self.tolerances[index],
+            total_power=self.total_power,
+            mean_power_per_vulnerability=self.mean_power_per_vulnerability,
+        )
+
+
+def merge_campaign_grid_batches(
+    batches: Sequence[Sequence[CampaignGridPointResult]],
+) -> Tuple[CampaignGridPointResult, ...]:
+    """Sum per-chunk (or per-shard) grid results point by point.
+
+    Counts are exact; float totals merge under the same dyadic-power caveat
+    as :func:`merge_campaign_batches`.  All batches must describe the same
+    grid (same point count, columns and tolerance widths).
+    """
+    if not batches:
+        raise FaultModelError("cannot merge zero grid batches")
+    first = batches[0]
+    for other in batches[1:]:
+        if len(other) != len(first):
+            raise FaultModelError(
+                f"grid batches disagree on point count: {len(first)} != {len(other)}"
+            )
+        for left, right in zip(first, other):
+            if left.columns != right.columns or len(left.violations) != len(
+                right.violations
+            ):
+                raise FaultModelError(
+                    "grid batches disagree on a point's columns or tolerances"
+                )
+    merged = []
+    for index, point in enumerate(first):
+        trials = sum(batch[index].trials for batch in batches)
+        violations = tuple(
+            sum(batch[index].violations[k] for batch in batches)
+            for k in range(len(point.violations))
+        )
+        compromised_total = 0.0
+        per_vulnerability = [0.0] * len(point.per_vulnerability_totals)
+        for batch in batches:
+            compromised_total += batch[index].compromised_total
+            for column, total in enumerate(batch[index].per_vulnerability_totals):
+                per_vulnerability[column] += total
+        merged.append(
+            CampaignGridPointResult(
+                trials=trials,
+                columns=point.columns,
+                violations=violations,
+                compromised_total=compromised_total,
+                per_vulnerability_totals=tuple(per_vulnerability),
+            )
+        )
+    return tuple(merged)
+
+
+class GridCampaignEngine:
+    """Runs whole scenario grids as fused backend kernel calls.
+
+    Where :class:`BatchCampaignEngine` issues one ``campaign_trials`` call
+    per (scenario point, tolerance), this engine stages the shared exposure
+    matrix once and hands the backend the entire grid
+    (:meth:`ComputeBackend.campaign_grid`): trials × points in one call,
+    multi-tolerance verdicts on shared draws, and per-point sub-streams
+    bit-identical to the looped path for the same seeds.
+
+    Large grids run row-chunked: the trial range is split so
+    ``points × replicas × columns × chunk_trials`` stays under
+    ``max_chunk_cells``, and ``trial_offset`` makes chunk boundaries
+    invisible to every number.  ``dtype``/``topk`` select the opt-in fast
+    paths (tolerance-pinned, not byte-pinned — leave at defaults whenever
+    results feed golden-pinned experiments).
+    """
+
+    def __init__(
+        self,
+        population: ReplicaPopulation,
+        catalog: VulnerabilityCatalog,
+        *,
+        backend: BackendLike = None,
+        matrix: Optional[PopulationMatrix] = None,
+        dtype: str = "float64",
+        topk: str = "sort",
+        max_chunk_cells: int = DEFAULT_GRID_CHUNK_CELLS,
+    ) -> None:
+        if max_chunk_cells <= 0:
+            raise FaultModelError(
+                f"chunk cell budget must be positive, got {max_chunk_cells}"
+            )
+        self._population = population
+        self._catalog = catalog
+        self._backend = backend
+        self._matrix = matrix if matrix is not None else PopulationMatrix.build(
+            population, catalog
+        )
+        self._dtype = dtype
+        self._topk = topk
+        self._max_chunk_cells = max_chunk_cells
+        self._last_chunk_count = 0
+
+    @property
+    def matrix(self) -> PopulationMatrix:
+        return self._matrix
+
+    @property
+    def last_chunk_count(self) -> int:
+        """How many kernel chunks the most recent :meth:`estimate_grid` used."""
+        return self._last_chunk_count
+
+    def chunk_trials_for(self, requests: Sequence["GridPointRequest"], *, trials: int) -> int:
+        """The per-chunk trial count :meth:`estimate_grid` would use."""
+        plans = self._plan_grid(requests, trials=trials, time=None)
+        return self._chunk_trials(plans)
+
+    def estimate_grid(
+        self,
+        requests: Sequence["GridPointRequest"],
+        *,
+        trials: int,
+        seed: int = 0,
+        time: Optional[float] = None,
+    ) -> Tuple[GridPointEstimate, ...]:
+        """Estimate every grid point's violation probabilities in one sweep.
+
+        Args:
+            requests: the grid points (validated; an empty grid, duplicate
+                ids within a point, or out-of-range parameters raise
+                :class:`FaultModelError`).
+            trials: campaigns sampled per point (positive).
+            seed: grid-level RNG seed; point ``i`` draws from
+                ``seed + requests[i].seed_offset``.
+            time: disclosure gate applied to target selection and
+                exploitability, as in :meth:`BatchCampaignEngine.estimate`.
+        """
+        plans = self._plan_grid(requests, trials=trials, time=time)
+        active = [plan for plan in plans if plan.exploited]
+        merged: Optional[Tuple[CampaignGridPointResult, ...]] = None
+        self._last_chunk_count = 0
+        if active:
+            points = tuple(
+                CampaignGridPoint(
+                    tolerances=plan.tolerances,
+                    columns=plan.columns,
+                    success_probability=plan.success_probability,
+                    seed_offset=plan.seed_offset,
+                )
+                for plan in active
+            )
+            resolved = get_backend(self._backend)
+            exposure = self._matrix.exposure_array(resolved)
+            powers = self._matrix.powers_array(resolved)
+            probabilities = self._matrix.success_probabilities
+            chunk_trials = self._chunk_trials(plans)
+            chunks = []
+            offset = 0
+            while offset < trials:
+                count = min(chunk_trials, trials - offset)
+                with timed_kernel("campaign_grid", trials=count * len(points)):
+                    chunks.append(
+                        resolved.campaign_grid(
+                            exposure,
+                            powers,
+                            probabilities,
+                            points,
+                            trials=count,
+                            seed=seed,
+                            total_power=self._matrix.total_power,
+                            trial_offset=offset,
+                            dtype=self._dtype,
+                            topk=self._topk,
+                        )
+                    )
+                offset += count
+            self._last_chunk_count = len(chunks)
+            merged = merge_campaign_grid_batches(chunks)
+        return self._finalize_grid(plans, trials, merged)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _plan_grid(
+        self,
+        requests: Sequence["GridPointRequest"],
+        *,
+        trials: int,
+        time: Optional[float],
+    ) -> Tuple[_GridPlan, ...]:
+        if trials <= 0:
+            raise FaultModelError(f"trial count must be positive, got {trials}")
+        if not requests:
+            raise FaultModelError(
+                "a campaign grid needs at least one point — an empty grid is "
+                "a usage error, not an empty result"
+            )
+        plans = []
+        for position, request in enumerate(requests):
+            where = f"grid point #{position}"
+            if not request.tolerances:
+                raise FaultModelError(f"{where} has no tolerances")
+            for tolerance in request.tolerances:
+                if not 0.0 < tolerance <= 1.0:  # also rejects NaN
+                    raise FaultModelError(
+                        f"{where}: tolerated fraction must be in (0, 1], "
+                        f"got {tolerance}"
+                    )
+            if (request.vulnerability_ids is None) == (request.worst_case is None):
+                raise FaultModelError(
+                    f"{where} must set exactly one of vulnerability_ids= or "
+                    "worst_case="
+                )
+            if request.success_probability is not None and not (
+                0.0 <= request.success_probability <= 1.0
+            ):
+                raise FaultModelError(
+                    f"{where}: success probability must be in [0, 1], got "
+                    f"{request.success_probability}"
+                )
+            if request.seed_offset < 0:
+                raise FaultModelError(
+                    f"{where}: seed offset must be non-negative, got "
+                    f"{request.seed_offset}"
+                )
+            if request.worst_case is not None:
+                if request.worst_case <= 0:
+                    raise FaultModelError(
+                        f"{where}: worst_case must be positive, got "
+                        f"{request.worst_case}"
+                    )
+                if len(self._catalog) == 0:
+                    raise FaultModelError(
+                        "the catalog is empty; nothing to exploit"
+                    )
+                ids = tuple(
+                    vuln_id
+                    for vuln_id, _ in self._matrix.most_damaging(
+                        request.worst_case, backend=self._backend, time=time
+                    )
+                )
+            else:
+                ids = tuple(request.vulnerability_ids)
+                if not ids:
+                    raise FaultModelError(f"{where} selects no vulnerabilities")
+                reject_duplicate_vulnerability_ids(ids)
+            exploited = tuple(
+                vuln_id
+                for vuln_id in ids
+                if self._matrix.is_exploitable_at(vuln_id, time)
+            )
+            plans.append(
+                _GridPlan(
+                    ids=ids,
+                    exploited=exploited,
+                    columns=tuple(
+                        self._matrix.vulnerability_index(vuln_id)
+                        for vuln_id in exploited
+                    ),
+                    tolerances=tuple(request.tolerances),
+                    success_probability=request.success_probability,
+                    seed_offset=request.seed_offset,
+                )
+            )
+        return tuple(plans)
+
+    def _chunk_trials(self, plans: Sequence[_GridPlan]) -> int:
+        cells_per_trial = self._matrix.replica_count * sum(
+            len(plan.columns) for plan in plans
+        )
+        return max(1, self._max_chunk_cells // max(1, cells_per_trial))
+
+    def _finalize_grid(
+        self,
+        plans: Sequence[_GridPlan],
+        trials: int,
+        merged: Optional[Sequence[CampaignGridPointResult]],
+    ) -> Tuple[GridPointEstimate, ...]:
+        results = iter(merged) if merged is not None else iter(())
+        estimates = []
+        total_power = self._matrix.total_power
+        for plan in plans:
+            per_vulnerability: Dict[str, float] = {
+                vuln_id: 0.0 for vuln_id in plan.ids
+            }
+            violations: Tuple[int, ...] = (0,) * len(plan.tolerances)
+            compromised_total = 0.0
+            if plan.exploited:
+                point = next(results)
+                violations = point.violations
+                compromised_total = point.compromised_total
+                for vuln_id, total in zip(
+                    plan.exploited, point.per_vulnerability_totals
+                ):
+                    per_vulnerability[vuln_id] = total / trials
+            estimates.append(
+                GridPointEstimate(
+                    ids=plan.ids,
+                    exploited=plan.exploited,
+                    trials=trials,
+                    tolerances=plan.tolerances,
+                    violations=violations,
+                    violation_probabilities=tuple(
+                        count / trials for count in violations
+                    ),
+                    mean_compromised_fraction=compromised_total
+                    / (trials * total_power),
+                    total_power=total_power,
+                    mean_power_per_vulnerability=tuple(
+                        sorted(per_vulnerability.items())
+                    ),
+                )
+            )
+        return tuple(estimates)
+
+
+def _grid_shard_worker(
+    backend_name: str,
+    exposure_rows: Tuple[Tuple[float, ...], ...],
+    powers: Tuple[float, ...],
+    success_probabilities: Tuple[float, ...],
+    point_payloads: Tuple[Tuple[Any, ...], ...],
+    trials: int,
+    seed: int,
+    total_power: float,
+    trial_offset: int,
+    dtype: str,
+    topk: str,
+) -> List[Dict[str, Any]]:
+    """Pool-worker entry: one trial-range shard of a fused grid.
+
+    Arguments and results are primitives so any executor can carry them
+    across a process boundary; each point payload is
+    ``(columns, tolerances, success_probability, seed_offset)``.
+    """
+    chaos_checkpoint("task", key=f"grid-shard:{trial_offset}+{trials}")
+    resolved = get_backend(backend_name)
+    points = tuple(
+        CampaignGridPoint(
+            tolerances=tuple(tolerances),
+            columns=tuple(columns),
+            success_probability=probability,
+            seed_offset=seed_offset,
+        )
+        for columns, tolerances, probability, seed_offset in point_payloads
+    )
+    with timed_kernel("campaign_grid", trials=trials * len(points)):
+        batch = resolved.campaign_grid(
+            resolved.asarray_matrix(exposure_rows),
+            resolved.asarray(powers),
+            success_probabilities,
+            points,
+            trials=trials,
+            seed=seed,
+            total_power=total_power,
+            trial_offset=trial_offset,
+            dtype=dtype,
+            topk=topk,
+        )
+    return [
+        {
+            "trials": point.trials,
+            "columns": list(point.columns),
+            "violations": list(point.violations),
+            "compromised_total": point.compromised_total,
+            "per_vulnerability_totals": list(point.per_vulnerability_totals),
+        }
+        for point in batch
+    ]
+
+
+class ShardedGridRun:
+    """Fan a fused grid's trial range out over resilient pool workers.
+
+    The grid analogue of :class:`ShardedCampaignRun`: produces the same
+    :class:`GridPointEstimate` tuple as ``engine.estimate_grid(...)`` —
+    bit-identical under the dyadic-power caveat — by splitting the trial
+    range into contiguous shards (every shard evaluates *all* grid points
+    for its slice of trials) and summing shard batches in offset order.
+    """
+
+    def __init__(
+        self,
+        engine: GridCampaignEngine,
+        *,
+        max_workers: int = 2,
+        task_timeout: Optional[float] = None,
+        retries: int = 2,
+        executor: Optional[Any] = None,
+    ) -> None:
+        if max_workers <= 0:
+            raise FaultModelError(
+                f"worker count must be positive, got {max_workers}"
+            )
+        self._engine = engine
+        self._max_workers = max_workers
+        self._task_timeout = task_timeout
+        self._retries = retries
+        self._executor = executor
+
+    def estimate_grid(
+        self,
+        requests: Sequence[GridPointRequest],
+        *,
+        trials: int,
+        seed: int = 0,
+        time: Optional[float] = None,
+    ) -> Tuple[GridPointEstimate, ...]:
+        """Sharded equivalent of :meth:`GridCampaignEngine.estimate_grid`."""
+        from repro.experiments.orchestrator.resilient import ResilientExecutor
+
+        engine = self._engine
+        plans = engine._plan_grid(requests, trials=trials, time=time)
+        active = [plan for plan in plans if plan.exploited]
+        if not active:
+            return engine._finalize_grid(plans, trials, None)
+        matrix = engine.matrix
+        point_payloads = tuple(
+            (plan.columns, plan.tolerances, plan.success_probability, plan.seed_offset)
+            for plan in active
+        )
+        backend_name = get_backend(engine._backend).name
+        ranges = split_trial_ranges(trials, self._max_workers)
+        owned = self._executor is None
+        pool = (
+            ResilientExecutor(
+                max_workers=self._max_workers,
+                deadline=self._task_timeout,
+                retries=self._retries,
+            )
+            if owned
+            else self._executor
+        )
+        try:
+            futures = [
+                pool.submit(
+                    _grid_shard_worker,
+                    backend_name,
+                    matrix.exposure_rows(),
+                    matrix.powers,
+                    matrix.success_probabilities,
+                    point_payloads,
+                    count,
+                    seed,
+                    matrix.total_power,
+                    offset,
+                    engine._dtype,
+                    engine._topk,
+                )
+                for offset, count in ranges
+            ]
+            batches = [
+                tuple(
+                    CampaignGridPointResult(
+                        trials=payload["trials"],
+                        columns=tuple(payload["columns"]),
+                        violations=tuple(payload["violations"]),
+                        compromised_total=payload["compromised_total"],
+                        per_vulnerability_totals=tuple(
+                            payload["per_vulnerability_totals"]
+                        ),
+                    )
+                    for payload in shard
+                )
+                for shard in (future.result() for future in futures)
+            ]
+        finally:
+            if owned:
+                pool.shutdown(wait=True, cancel_futures=True)
+        return engine._finalize_grid(
+            plans, trials, merge_campaign_grid_batches(batches)
+        )
+
+
 def run_census_trials(
     census: ConfigurationDistribution,
     *,
@@ -495,11 +1057,12 @@ def run_census_trials(
     unchanged.
     """
     resolved = get_backend(backend)
-    return resolved.violation_trials(
-        census.sorted_probabilities_array(resolved),
-        vulnerability_probability=vulnerability_probability,
-        exploit_budget=exploit_budget,
-        trials=trials,
-        seed=seed,
-        tolerance=tolerance,
-    )
+    with timed_kernel("violation_trials", trials=trials):
+        return resolved.violation_trials(
+            census.sorted_probabilities_array(resolved),
+            vulnerability_probability=vulnerability_probability,
+            exploit_budget=exploit_budget,
+            trials=trials,
+            seed=seed,
+            tolerance=tolerance,
+        )

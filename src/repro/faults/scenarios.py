@@ -21,10 +21,12 @@ bit-identical across compute backends.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.exceptions import FaultModelError
 from repro.core.population import ReplicaPopulation
+from repro.core.resilience import ProtocolFamily, tolerated_fault_fraction
+from repro.faults.engine import GridPointRequest
 from repro.datasets.software_ecosystem import (
     SyntheticEcosystem,
     default_ecosystem,
@@ -177,6 +179,108 @@ def churned_scenarios(
             completed = target
         trajectory.append(snapshot(completed))
     return trajectory
+
+
+# -- fused grid construction ---------------------------------------------------
+#
+# The campaign sweeps used to loop one BatchCampaignEngine call per
+# (scenario point, protocol family).  These helpers phrase each sweep as ONE
+# grid of :class:`~repro.faults.engine.GridPointRequest` objects instead, so
+# :meth:`~repro.faults.engine.GridCampaignEngine.estimate_grid` can run the
+# whole sweep as a single fused kernel call — bit-identical to the loop
+# because point ``i`` keeps the loop's ``seed + i`` sub-stream and every
+# family judges the same shared draws.
+
+
+def family_tolerances(families: Sequence[ProtocolFamily]) -> Tuple[float, ...]:
+    """The tolerated fault fractions a grid point judges its trials at."""
+    if not families:
+        raise FaultModelError("at least one protocol family is required")
+    return tuple(tolerated_fault_fraction(family) for family in families)
+
+
+def budget_grid(
+    budgets: Sequence[int],
+    *,
+    families: Sequence[ProtocolFamily],
+) -> Tuple[GridPointRequest, ...]:
+    """An adversary-budget sweep as one fused grid (one point per budget).
+
+    Point ``i`` exploits the ``budgets[i]`` most damaging vulnerabilities at
+    seed offset ``i``, judged at every family's tolerance on the same draws —
+    a BFT/majority pair costs one exploit draw instead of two.
+    """
+    if not budgets:
+        raise FaultModelError("at least one adversary budget is required")
+    if any(budget <= 0 for budget in budgets):
+        raise FaultModelError("adversary budgets must be positive")
+    tolerances = family_tolerances(families)
+    return tuple(
+        GridPointRequest(
+            tolerances=tolerances,
+            worst_case=budget,
+            seed_offset=index,
+        )
+        for index, budget in enumerate(budgets)
+    )
+
+
+def reliability_grid(
+    probabilities: Sequence[float],
+    *,
+    budget: int,
+    families: Sequence[ProtocolFamily],
+) -> Tuple[GridPointRequest, ...]:
+    """An exploit-reliability sweep as one fused grid over one population.
+
+    Worst-case target selection depends only on exposure and power — never on
+    success probabilities — so the whole sweep shares a single engine/catalog
+    and each point simply overrides the per-replica success probability
+    (matching the looped sweep's one-catalog-per-probability scenarios bit
+    for bit, without rebuilding populations).
+    """
+    if not probabilities:
+        raise FaultModelError("at least one exploit probability is required")
+    if budget <= 0:
+        raise FaultModelError(f"exploit budget must be positive, got {budget}")
+    tolerances = family_tolerances(families)
+    return tuple(
+        GridPointRequest(
+            tolerances=tolerances,
+            worst_case=budget,
+            success_probability=probability,
+            seed_offset=index,
+        )
+        for index, probability in enumerate(probabilities)
+    )
+
+
+def churn_checkpoint_grid(
+    checkpoint_index: int,
+    *,
+    budget: int,
+    families: Sequence[ProtocolFamily],
+) -> Tuple[GridPointRequest, ...]:
+    """One churn checkpoint as a single-point grid.
+
+    Churn snapshots have *different* populations, so each checkpoint runs its
+    own engine; the grid seam still buys the multi-tolerance verdict and the
+    fused kernel.  ``seed_offset=checkpoint_index`` keeps the checkpoint's
+    ``seed + index`` sub-stream from the looped sweep.
+    """
+    if checkpoint_index < 0:
+        raise FaultModelError(
+            f"checkpoint index must be non-negative, got {checkpoint_index}"
+        )
+    if budget <= 0:
+        raise FaultModelError(f"exploit budget must be positive, got {budget}")
+    return (
+        GridPointRequest(
+            tolerances=family_tolerances(families),
+            worst_case=budget,
+            seed_offset=checkpoint_index,
+        ),
+    )
 
 
 def reliability_scenarios(

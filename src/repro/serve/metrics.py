@@ -45,6 +45,12 @@ class ServiceMetrics:
             ``/results`` endpoint (JSON document entries plus NDJSON lines).
         cache_admin_ops: cache-administration requests handled
             (``/cache/stats|prune|invalidate|warm``).
+        kernel_counters: per-kernel ``{calls, seconds, trials}`` accumulated
+            from the volatile section of every result this server built
+            (builds run in pool workers; the counters ride back on the
+            result document).  Cache hits contribute nothing — the section
+            measures compute actually spent, so fused-vs-looped kernel wins
+            are visible to scrapers.
     """
 
     started_at: float = field(default_factory=time.time)
@@ -67,6 +73,7 @@ class ServiceMetrics:
     jobs_failed: int = 0
     bulk_results_served: int = 0
     cache_admin_ops: int = 0
+    kernel_counters: Dict[str, Dict[str, float]] = field(default_factory=dict)
     _sections: Dict[str, Callable[[], Dict[str, Any]]] = field(
         default_factory=dict, repr=False
     )
@@ -74,6 +81,16 @@ class ServiceMetrics:
     def count_response(self, status: int) -> None:
         """Record one response with this status code."""
         self.responses_by_status[status] = self.responses_by_status.get(status, 0) + 1
+
+    def record_kernels(self, counters: "Dict[str, Dict[str, float]]") -> None:
+        """Accumulate one build's per-kernel counters into the totals."""
+        for kernel, counter in counters.items():
+            total = self.kernel_counters.setdefault(
+                kernel, {"calls": 0, "seconds": 0.0, "trials": 0}
+            )
+            total["calls"] += int(counter.get("calls", 0))
+            total["seconds"] += float(counter.get("seconds", 0.0))
+            total["trials"] += int(counter.get("trials", 0))
 
     def attach_section(
         self, name: str, provider: Callable[[], Dict[str, Any]]
@@ -112,6 +129,10 @@ class ServiceMetrics:
             "jobs_failed": self.jobs_failed,
             "bulk_results_served": self.bulk_results_served,
             "cache_admin_ops": self.cache_admin_ops,
+            "kernels": {
+                kernel: dict(counter)
+                for kernel, counter in sorted(self.kernel_counters.items())
+            },
         }
         for name, provider in self._sections.items():
             document[name] = provider()

@@ -1,0 +1,94 @@
+"""Tests for the fused grid benchmark harness (``repro.cli bench-grid``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.grid_benchmark import (
+    GRID_FAMILIES,
+    benchmark_grid,
+    write_grid_snapshot,
+)
+from repro.backend import available_backends
+from repro.core.exceptions import AnalysisError
+
+SMALL = dict(
+    trials=60,
+    replicas=10,
+    budgets=(1, 2),
+    probabilities=(0.5,),
+    repeats=1,
+    scalar_trials=40,
+)
+
+
+class TestBenchmarkGrid:
+    def test_every_backend_gets_fused_and_looped_timings(self):
+        report = benchmark_grid(**SMALL)
+        modes = {timing.mode for timing in report.timings}
+        expected = {
+            f"{name}_{kind}"
+            for name in available_backends()
+            for kind in ("fused", "looped")
+        }
+        assert modes == expected
+        for timing in report.timings:
+            assert timing.seconds > 0
+            assert timing.point_trials_per_second > 0
+
+    def test_fused_is_asserted_identical_to_looped(self):
+        report = benchmark_grid(**SMALL)
+        assert report.identical_fused_vs_looped is True
+        assert report.grid_points == len(SMALL["budgets"]) * len(
+            SMALL["probabilities"]
+        )
+
+    def test_scalar_modes_run_at_reduced_trials(self):
+        report = benchmark_grid(**SMALL)
+        if "python" not in available_backends():
+            pytest.skip("python backend unavailable")
+        assert report.timing("python_fused").trials == SMALL["scalar_trials"]
+        assert report.scalar_trials == SMALL["scalar_trials"]
+
+    def test_speedups_require_their_modes(self):
+        report = benchmark_grid(backends=("python",), **SMALL)
+        assert report.speedup_fused_over_looped() is None
+        assert report.speedup_fused_numpy_over_scalar() is None
+        if "numpy" in available_backends():
+            both = benchmark_grid(**SMALL)
+            assert both.speedup_fused_over_looped() > 0
+            assert both.speedup_fused_numpy_over_scalar() > 0
+
+    def test_snapshot_roundtrip(self, tmp_path):
+        report = benchmark_grid(**SMALL)
+        path = tmp_path / "BENCH_GRID.json"
+        write_grid_snapshot(report, str(path))
+        document = json.loads(path.read_text())
+        assert document["benchmark"] == "grid_campaign_engine"
+        assert document["workload"]["trials"] == SMALL["trials"]
+        assert document["workload"]["tolerances_per_point"] == len(GRID_FAMILIES)
+        assert document["identical_fused_vs_looped"] is True
+        assert "python_fused" in document["results"]
+
+    def test_snapshot_write_failure_is_an_analysis_error(self, tmp_path):
+        report = benchmark_grid(backends=("python",), **SMALL)
+        with pytest.raises(AnalysisError, match="cannot write"):
+            write_grid_snapshot(report, str(tmp_path))  # a directory
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"trials": 0},
+            {"replicas": 0},
+            {"scalar_trials": 0},
+            {"repeats": 0},
+            {"budgets": ()},
+            {"probabilities": ()},
+            {"backends": ()},
+        ],
+    )
+    def test_invalid_workload_rejected(self, overrides):
+        with pytest.raises(AnalysisError):
+            benchmark_grid(**{**SMALL, **overrides})

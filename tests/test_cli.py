@@ -430,3 +430,40 @@ class TestBenchCampaignCommand:
     def test_bench_campaign_rejects_bad_workload(self, capsys):
         assert main(["bench-campaign", "--trials", "0"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestBenchGridCommand:
+    SMALL = [
+        "bench-grid",
+        "--trials", "60",
+        "--replicas", "10",
+        "--budgets", "1", "2",
+        "--probabilities", "0.5",
+        "--repeats", "1",
+        "--scalar-trials", "40",
+    ]
+
+    def test_bench_grid_prints_table_for_every_backend(self, capsys):
+        assert main(list(self.SMALL)) == 0
+        output = capsys.readouterr().out
+        assert "point-trials/sec" in output
+        assert "python_fused" in output
+        assert "python_looped" in output
+        assert "fused grid identical to looped campaigns: True" in output
+
+    def test_bench_grid_writes_snapshot(self, tmp_path, capsys):
+        snapshot = tmp_path / "BENCH_GRID_TEST.json"
+        assert main(list(self.SMALL) + ["--output", str(snapshot)]) == 0
+        capsys.readouterr()
+        document = json.loads(snapshot.read_text())
+        assert document["benchmark"] == "grid_campaign_engine"
+        assert document["workload"]["grid_points"] == 2
+        assert document["identical_fused_vs_looped"] is True
+        assert "python_fused" in document["results"]
+        if "numpy_fused" in document["results"]:
+            assert document["speedup_fused_over_looped_numpy"] > 0
+            assert document["speedup_numpy_fused_over_python_scalar"] > 0
+
+    def test_bench_grid_rejects_bad_workload(self, capsys):
+        assert main(["bench-grid", "--trials", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
