@@ -1,0 +1,285 @@
+"""Benchmark harness for the sparse population plane.
+
+Sweeps the replica count through the streaming build path
+(:func:`~repro.faults.scenarios.sparse_ecosystem_matrix`) and the row-chunked
+sparse campaign engine, recording per scale point:
+
+- **build**: seconds to stream the population into CSR (the population is
+  never materialized — peak memory is one replica chunk plus the CSR arrays);
+- **sparse**: seconds for a full-catalog worst-case campaign through
+  :meth:`BatchCampaignEngine.estimate` on the sparse matrix;
+- **dense** (scales up to ``dense_limit`` only): the same campaign on the
+  materialized population's dense matrix, asserted **bit-identical** to the
+  sparse estimate — the benchmark doubles as the overlapping-scale identity
+  gate;
+- **peak RSS**: :func:`~repro.backend.timing.peak_rss_kb` after the point —
+  the process high-water mark the CI scale-smoke job holds the million-replica
+  sparse-only run (``--dense-limit 0``) to a documented ceiling with.
+
+The snapshot (``BENCH_9.json`` in CI) records the per-scale timings, the
+identity verdict and the memory high-water marks.  ``ru_maxrss`` never
+shrinks, so a meaningful ceiling gate must skip the dense comparison (its
+materialized population dominates the high-water mark); the default
+invocation documents both paths instead.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.backend import get_backend
+from repro.backend.timing import peak_rss_kb
+from repro.core.exceptions import AnalysisError
+from repro.faults.engine import BatchCampaignEngine, DEFAULT_CAMPAIGN_CHUNK_ROWS
+from repro.faults.matrix import PopulationMatrix
+from repro.faults.scenarios import resolve_ecosystem, sparse_ecosystem_matrix
+
+#: Schema version of the snapshot document.
+POPULATION_SNAPSHOT_VERSION = 1
+
+#: Population sizes the default sweep covers (the 10⁴ → 10⁶ scale run).
+DEFAULT_POPULATION_SIZES = (10_000, 100_000, 1_000_000)
+
+#: Largest size the dense comparison materializes by default.
+DEFAULT_DENSE_LIMIT = 100_000
+
+
+@dataclass(frozen=True)
+class PopulationScalePoint:
+    """One population size's build/campaign timings and memory mark."""
+
+    size: int
+    nnz: int
+    density: float
+    build_seconds: float
+    sparse_seconds: float
+    sparse_trials_per_second: float
+    dense_seconds: Optional[float]
+    dense_trials_per_second: Optional[float]
+    identical_sparse_vs_dense: Optional[bool]
+    peak_rss_kb: int
+
+
+@dataclass(frozen=True)
+class PopulationBenchmarkReport:
+    """All scale points for one sparse-population benchmark run."""
+
+    backend: str
+    ecosystem: str
+    vulnerabilities: int
+    trials: int
+    exploit_probability: float
+    seed: int
+    repeats: int
+    dense_limit: int
+    chunk_rows: int
+    memory_ceiling_kb: Optional[int]
+    points: Tuple[PopulationScalePoint, ...]
+
+    def point(self, size: int) -> PopulationScalePoint:
+        for point in self.points:
+            if point.size == size:
+                return point
+        raise AnalysisError(f"population size {size} was not benchmarked")
+
+    def peak_rss_kb(self) -> int:
+        """The largest high-water mark across every scale point."""
+        return max(point.peak_rss_kb for point in self.points)
+
+    def within_memory_ceiling(self) -> Optional[bool]:
+        """Peak RSS vs the ceiling (``None`` when no ceiling was set)."""
+        if self.memory_ceiling_kb is None:
+            return None
+        return self.peak_rss_kb() <= self.memory_ceiling_kb
+
+    def identical_sparse_vs_dense(self) -> Optional[bool]:
+        """Overall identity verdict (``None`` when no scale compared dense)."""
+        verdicts = [
+            point.identical_sparse_vs_dense
+            for point in self.points
+            if point.identical_sparse_vs_dense is not None
+        ]
+        if not verdicts:
+            return None
+        return all(verdicts)
+
+    def as_dict(self) -> Dict:
+        """JSON-serializable snapshot of the report."""
+        document: Dict = {
+            "version": POPULATION_SNAPSHOT_VERSION,
+            "benchmark": "sparse_population_plane",
+            "workload": {
+                "backend": self.backend,
+                "ecosystem": self.ecosystem,
+                "vulnerabilities": self.vulnerabilities,
+                "trials": self.trials,
+                "exploit_probability": self.exploit_probability,
+                "seed": self.seed,
+                "repeats": self.repeats,
+                "dense_limit": self.dense_limit,
+                "chunk_rows": self.chunk_rows,
+            },
+            "results": {
+                str(point.size): {
+                    "nnz": point.nnz,
+                    "density": point.density,
+                    "build_seconds": point.build_seconds,
+                    "sparse_seconds": point.sparse_seconds,
+                    "sparse_trials_per_second": point.sparse_trials_per_second,
+                    "dense_seconds": point.dense_seconds,
+                    "dense_trials_per_second": point.dense_trials_per_second,
+                    "identical_sparse_vs_dense": point.identical_sparse_vs_dense,
+                    "peak_rss_kb": point.peak_rss_kb,
+                }
+                for point in self.points
+            },
+            "identical_sparse_vs_dense": self.identical_sparse_vs_dense(),
+            "peak_rss_kb": self.peak_rss_kb(),
+        }
+        if self.memory_ceiling_kb is not None:
+            document["memory_ceiling_kb"] = self.memory_ceiling_kb
+            document["within_memory_ceiling"] = self.within_memory_ceiling()
+        return document
+
+
+def _best_of(repeats: int, run) -> Tuple[float, object]:
+    """(best wall seconds, last result) over ``repeats`` timed runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def benchmark_population(
+    *,
+    sizes: Tuple[int, ...] = DEFAULT_POPULATION_SIZES,
+    trials: int = 32,
+    ecosystem: str = "default",
+    exploit_probability: float = 0.45,
+    seed: int = 29,
+    repeats: int = 1,
+    dense_limit: int = DEFAULT_DENSE_LIMIT,
+    chunk_rows: int = DEFAULT_CAMPAIGN_CHUNK_ROWS,
+    memory_ceiling_mb: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> PopulationBenchmarkReport:
+    """Time the streaming sparse plane across population scales.
+
+    Every size streams its population into a sparse matrix and runs one
+    full-catalog campaign through the row-chunked sparse path; sizes within
+    ``dense_limit`` additionally materialize the same population densely and
+    assert the two estimates exactly equal (``dense_limit=0`` skips the
+    dense comparison everywhere — the configuration the CI memory gate uses,
+    since ``ru_maxrss`` is a process-lifetime high-water mark).
+    """
+    if not sizes:
+        raise AnalysisError("at least one population size is required")
+    if any(size <= 0 for size in sizes):
+        raise AnalysisError("population sizes must be positive")
+    if trials <= 0:
+        raise AnalysisError(f"trial count must be positive, got {trials}")
+    if repeats <= 0:
+        raise AnalysisError("repeats must be positive")
+    if dense_limit < 0:
+        raise AnalysisError(f"dense limit must be non-negative, got {dense_limit}")
+    if memory_ceiling_mb is not None and memory_ceiling_mb <= 0:
+        raise AnalysisError(
+            f"memory ceiling must be positive, got {memory_ceiling_mb}"
+        )
+
+    points = []
+    vulnerabilities = 0
+    resolved_backend = get_backend(backend).name
+    for size in sorted(sizes):
+        build_start = time.perf_counter()
+        matrix, catalog = sparse_ecosystem_matrix(
+            ecosystem=ecosystem,
+            population_size=size,
+            seed=seed,
+            exploit_probability=exploit_probability,
+        )
+        build_seconds = time.perf_counter() - build_start
+        vulnerabilities = len(catalog)
+        engine = BatchCampaignEngine.from_matrix(
+            matrix, backend=backend, chunk_rows=chunk_rows
+        )
+
+        def run_sparse(sparse_engine: BatchCampaignEngine = engine):
+            return sparse_engine.estimate(trials=trials, seed=seed)
+
+        sparse_seconds, sparse_estimate = _best_of(repeats, run_sparse)
+
+        dense_seconds = None
+        dense_rate = None
+        identical = None
+        if dense_limit and size <= dense_limit:
+            population = resolve_ecosystem(ecosystem).sample_population(
+                size, seed=seed
+            )
+            dense_matrix = PopulationMatrix.build(
+                population, catalog, layout="dense"
+            )
+            dense_engine = BatchCampaignEngine.from_matrix(
+                dense_matrix, backend=backend
+            )
+
+            def run_dense(engine_dense: BatchCampaignEngine = dense_engine):
+                return engine_dense.estimate(trials=trials, seed=seed)
+
+            dense_seconds, dense_estimate = _best_of(repeats, run_dense)
+            dense_rate = trials / dense_seconds
+            identical = sparse_estimate == dense_estimate
+
+        points.append(
+            PopulationScalePoint(
+                size=size,
+                nnz=matrix.nnz,
+                density=matrix.density,
+                build_seconds=build_seconds,
+                sparse_seconds=sparse_seconds,
+                sparse_trials_per_second=trials / sparse_seconds,
+                dense_seconds=dense_seconds,
+                dense_trials_per_second=dense_rate,
+                identical_sparse_vs_dense=identical,
+                peak_rss_kb=peak_rss_kb(),
+            )
+        )
+
+    report = PopulationBenchmarkReport(
+        backend=resolved_backend,
+        ecosystem=ecosystem,
+        vulnerabilities=vulnerabilities,
+        trials=trials,
+        exploit_probability=exploit_probability,
+        seed=seed,
+        repeats=repeats,
+        dense_limit=dense_limit,
+        chunk_rows=chunk_rows,
+        memory_ceiling_kb=(
+            None if memory_ceiling_mb is None else memory_ceiling_mb * 1024
+        ),
+        points=tuple(points),
+    )
+    if report.identical_sparse_vs_dense() is False:
+        raise AnalysisError(
+            "the sparse campaign path broke bit-identity with the dense path"
+        )
+    return report
+
+
+def write_population_snapshot(report: PopulationBenchmarkReport, path: str) -> None:
+    """Write a population benchmark report to ``path`` as indented JSON."""
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    except OSError as error:
+        raise AnalysisError(
+            f"cannot write benchmark snapshot to {path!r}: {error}"
+        ) from error

@@ -23,8 +23,9 @@ The contract every implementation must honor:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Sequence, Tuple
+import array as _stdlib_array
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Optional, Sequence, Tuple
 
 #: Slack applied when a compromised-power *fraction* is compared against a
 #: tolerance (mirrors ``CampaignOutcome.violates``): a trial violates safety
@@ -161,6 +162,330 @@ class CampaignGridPointResult:
     violations: Tuple[int, ...]
     compromised_total: float
     per_vulnerability_totals: Tuple[float, ...]
+
+
+# -- sparse exposure -----------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class SparseExposure:
+    """CSR-compressed replica → vulnerability exposure plus campaign vectors.
+
+    Row ``r``'s exposed columns are ``indices[indptr[r]:indptr[r + 1]]``,
+    strictly increasing within each row; ``powers`` is per replica while
+    ``success_probabilities`` and ``disclosed_at`` are per column.  The
+    structure is the sparse analogue of the dense ``exposure`` argument the
+    campaign kernels take: cell ``(r, v)`` is exposed exactly when ``v``
+    appears in row ``r``'s index slice, so a densified copy fed to the dense
+    kernels produces bit-identical results.
+
+    Storage is whatever integer/float sequences the caller provides; the
+    :func:`from_rows` constructor packs stdlib ``array`` buffers (``'q'`` and
+    ``'d'`` typecodes), which keep a million-replica structure in tens of
+    megabytes, pickle compactly for shard workers, and convert to NumPy
+    zero-copy.  Treat a constructed instance as immutable — kernels cache the
+    structural validation on it.
+    """
+
+    indptr: Sequence[int]
+    indices: Sequence[int]
+    powers: Sequence[float]
+    success_probabilities: Sequence[float]
+    disclosed_at: Sequence[float]
+    _validated: bool = field(default=False, init=False, repr=False, compare=False)
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def column_count(self) -> int:
+        return len(self.success_probabilities)
+
+    @property
+    def nnz(self) -> int:
+        """Number of exposed (replica, vulnerability) cells."""
+        return len(self.indices)
+
+    @property
+    def density(self) -> float:
+        """Exposed-cell fraction of the dense replicas × vulnerabilities grid."""
+        cells = self.replica_count * self.column_count
+        return len(self.indices) / cells if cells else 0.0
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Sequence[int]],
+        powers: Iterable[float],
+        success_probabilities: Sequence[float],
+        disclosed_at: Optional[Sequence[float]] = None,
+    ) -> "SparseExposure":
+        """Pack per-row exposed-column index sequences into validated CSR."""
+        indptr = _stdlib_array.array("q", [0])
+        indices = _stdlib_array.array("q")
+        for row in rows:
+            indices.extend(row)
+            indptr.append(len(indices))
+        probabilities = tuple(float(p) for p in success_probabilities)
+        disclosed = (
+            tuple(float(value) for value in disclosed_at)
+            if disclosed_at is not None
+            else (0.0,) * len(probabilities)
+        )
+        sparse = cls(
+            indptr=indptr,
+            indices=indices,
+            powers=_stdlib_array.array("d", (float(p) for p in powers)),
+            success_probabilities=probabilities,
+            disclosed_at=disclosed,
+        )
+        sparse.validate()
+        return sparse
+
+    @classmethod
+    def from_dense(
+        cls,
+        exposure: Sequence[Sequence[float]],
+        powers: Iterable[float],
+        success_probabilities: Sequence[float],
+        disclosed_at: Optional[Sequence[float]] = None,
+    ) -> "SparseExposure":
+        """Compress a dense 0/1 exposure matrix (row-major) to CSR."""
+        rows = (
+            tuple(column for column, cell in enumerate(row) if cell)
+            for row in exposure
+        )
+        return cls.from_rows(rows, powers, success_probabilities, disclosed_at)
+
+    def validate(self) -> "SparseExposure":
+        """Check the CSR invariants once; later calls are a cached no-op."""
+        if self._validated:
+            return self
+        from repro.core.exceptions import BackendError
+
+        if len(self.indptr) == 0 or self.indptr[0] != 0:
+            raise BackendError(
+                "sparse exposure indptr must start with 0 and have one entry "
+                "per replica plus one"
+            )
+        if self.indptr[-1] != len(self.indices):
+            raise BackendError(
+                f"sparse exposure indptr ends at {self.indptr[-1]} but there "
+                f"are {len(self.indices)} column indices"
+            )
+        replica_count = self.replica_count
+        column_count = self.column_count
+        if len(self.powers) != replica_count:
+            raise BackendError(
+                f"sparse exposure has {len(self.powers)} powers for "
+                f"{replica_count} replicas"
+            )
+        if len(self.disclosed_at) != column_count:
+            raise BackendError(
+                f"sparse exposure has {len(self.disclosed_at)} disclosure "
+                f"times for {column_count} vulnerabilities"
+            )
+        indptr = self.indptr
+        indices = self.indices
+        for row in range(replica_count):
+            begin, end = indptr[row], indptr[row + 1]
+            if end < begin:
+                raise BackendError("sparse exposure indptr must be non-decreasing")
+            previous = -1
+            for position in range(begin, end):
+                column = indices[position]
+                if not 0 <= column < column_count:
+                    raise BackendError(
+                        f"sparse exposure column {column} out of range for "
+                        f"{column_count} vulnerabilities"
+                    )
+                if column <= previous:
+                    raise BackendError(
+                        "sparse exposure columns must be strictly increasing "
+                        "within each row (sorted, no duplicates)"
+                    )
+                previous = column
+        if any(power < 0 for power in self.powers):
+            raise BackendError("replica powers must be non-negative")
+        if any(not 0.0 <= p <= 1.0 for p in self.success_probabilities):
+            raise BackendError("success probabilities must be in [0, 1]")
+        object.__setattr__(self, "_validated", True)
+        return self
+
+    def row_slice(self, start: int, stop: int) -> "SparseExposure":
+        """Rows ``[start, stop)`` as a standalone structure (rebased indptr).
+
+        The slice keeps every column, so local column indices — and with them
+        the campaign counter stream, given the right ``row_offset`` — are
+        unchanged.
+        """
+        from repro.core.exceptions import BackendError
+
+        if not 0 <= start <= stop <= self.replica_count:
+            raise BackendError(
+                f"row slice [{start}, {stop}) out of range for "
+                f"{self.replica_count} replicas"
+            )
+        base = self.indptr[start]
+        indptr = _stdlib_array.array(
+            "q", (self.indptr[row] - base for row in range(start, stop + 1))
+        )
+        sliced = SparseExposure(
+            indptr=indptr,
+            indices=self.indices[base : self.indptr[stop]],
+            powers=self.powers[start:stop],
+            success_probabilities=self.success_probabilities,
+            disclosed_at=self.disclosed_at,
+        )
+        if self._validated:
+            object.__setattr__(sliced, "_validated", True)
+        return sliced
+
+    def select_columns(self, columns: Sequence[int]) -> "SparseExposure":
+        """Column-sliced structure in the selection's local column space.
+
+        ``columns`` are distinct global column indices in selection order;
+        the result has ``len(columns)`` columns and keeps every row, with
+        each row's surviving cells renumbered to local indices and re-sorted
+        ascending (the CSR invariant).  The campaign stream depends only on
+        (row, local column), so kernels on the result draw exactly what the
+        dense kernels draw on a ``columns_for``-sliced matrix.
+        """
+        from repro.core.exceptions import BackendError
+
+        self.validate()
+        lut = [-1] * self.column_count
+        for local, column in enumerate(columns):
+            if not 0 <= column < self.column_count:
+                raise BackendError(
+                    f"column {column} out of range for {self.column_count} "
+                    "vulnerabilities"
+                )
+            if lut[column] != -1:
+                raise BackendError(f"duplicate column {column} in selection")
+            lut[column] = local
+        indptr = _stdlib_array.array("q", [0])
+        indices = _stdlib_array.array("q")
+        for row in range(self.replica_count):
+            selected = [
+                lut[self.indices[position]]
+                for position in range(self.indptr[row], self.indptr[row + 1])
+                if lut[self.indices[position]] != -1
+            ]
+            selected.sort()
+            indices.extend(selected)
+            indptr.append(len(indices))
+        sliced = SparseExposure(
+            indptr=indptr,
+            indices=indices,
+            powers=self.powers,
+            success_probabilities=tuple(
+                self.success_probabilities[column] for column in columns
+            ),
+            disclosed_at=tuple(self.disclosed_at[column] for column in columns),
+        )
+        object.__setattr__(sliced, "_validated", True)
+        return sliced
+
+
+@dataclass(frozen=True)
+class SparseGridPartial:
+    """Row-range partial sums of one grid point's campaign trials.
+
+    ``per_trial_compromised[t]`` is the power compromised in trial
+    ``trial_offset + t`` *within the computed row range only*; the verdict
+    (compromised fraction vs tolerance) couples all rows of a trial, so it
+    can only be taken after every row chunk's partials are summed —
+    :func:`merge_sparse_partials` + :func:`finalize_sparse_point` do exactly
+    that.  ``per_vulnerability_totals`` is the usual per-local-column
+    compromised-power total over the range's rows and all trials.
+    """
+
+    per_trial_compromised: Tuple[float, ...]
+    per_vulnerability_totals: Tuple[float, ...]
+
+
+def merge_sparse_partials(
+    chunks: Sequence[Sequence[SparseGridPartial]],
+) -> Tuple[SparseGridPartial, ...]:
+    """Sum per-row-chunk partials elementwise, in chunk (= row) order.
+
+    ``chunks[k][p]`` is row chunk ``k``'s partial for grid point ``p``.
+    Summing chunk partials in ascending row order adds each trial's
+    compromised power in the same ascending-row sequence a full-range kernel
+    uses, so the merge is exact for dyadic powers (the shipped scenarios) and
+    chunk boundaries stay invisible.
+    """
+    from repro.core.exceptions import BackendError
+
+    if len(chunks) == 0:
+        raise BackendError("cannot merge zero sparse partial chunks")
+    point_count = len(chunks[0])
+    for chunk in chunks:
+        if len(chunk) != point_count:
+            raise BackendError(
+                "sparse partial chunks disagree on the grid point count"
+            )
+    merged = []
+    for position in range(point_count):
+        first = chunks[0][position]
+        per_trial = [0.0] * len(first.per_trial_compromised)
+        per_vulnerability = [0.0] * len(first.per_vulnerability_totals)
+        for chunk in chunks:
+            partial = chunk[position]
+            if len(partial.per_trial_compromised) != len(per_trial) or len(
+                partial.per_vulnerability_totals
+            ) != len(per_vulnerability):
+                raise BackendError(
+                    "sparse partial chunks disagree on trial or column counts"
+                )
+            for trial, value in enumerate(partial.per_trial_compromised):
+                per_trial[trial] += value
+            for column, value in enumerate(partial.per_vulnerability_totals):
+                per_vulnerability[column] += value
+        merged.append(
+            SparseGridPartial(
+                per_trial_compromised=tuple(per_trial),
+                per_vulnerability_totals=tuple(per_vulnerability),
+            )
+        )
+    return tuple(merged)
+
+
+def finalize_sparse_point(
+    partial: SparseGridPartial,
+    *,
+    trials: int,
+    columns: Tuple[int, ...],
+    tolerances: Sequence[float],
+    total_power: float,
+) -> CampaignGridPointResult:
+    """Apply the per-trial verdicts to fully merged partial sums.
+
+    Walks the trials in order, accumulating ``compromised_total`` and
+    counting a violation whenever ``compromised / total_power`` reaches a
+    tolerance (slack :data:`CAMPAIGN_FRACTION_SLACK`) — the same comparisons,
+    in the same order, as the dense scalar loop.
+    """
+    thresholds = tuple(
+        tolerance - CAMPAIGN_FRACTION_SLACK for tolerance in tolerances
+    )
+    violations = [0] * len(thresholds)
+    compromised_total = 0.0
+    for compromised in partial.per_trial_compromised:
+        compromised_total += compromised
+        fraction = compromised / total_power
+        for position, threshold in enumerate(thresholds):
+            if fraction >= threshold:
+                violations[position] += 1
+    return CampaignGridPointResult(
+        trials=trials,
+        columns=tuple(columns),
+        violations=tuple(violations),
+        compromised_total=compromised_total,
+        per_vulnerability_totals=partial.per_vulnerability_totals,
+    )
 
 
 #: Accepted values of ``campaign_grid``'s accumulation-dtype fast-path knob.
@@ -339,10 +664,180 @@ class ComputeBackend(abc.ABC):
         ``dtype="float32"`` draws reduced-precision uniforms and accumulates
         compromised power in float32 (Monte-Carlo noise dominates the
         difference); ``topk="argpartition"`` ranks ``budget`` selections via
-        ``numpy.argpartition`` on the NumPy backend (ties straddling the
-        partition boundary may select differently).  Backends without a
-        faster implementation fall back to the exact path — never an error.
+        ``numpy.argpartition`` on the NumPy backend (same columns as the
+        exact path, ties included — only the selection cost changes).
+        Backends without a faster implementation fall back to the exact
+        path — never an error.
         """
+
+    # -- sparse campaign kernels ------------------------------------------------
+
+    @abc.abstractmethod
+    def sparse_masked_power_sums(
+        self, sparse: SparseExposure
+    ) -> Tuple[float, ...]:
+        """Per-column exposed-power reduction over a CSR exposure.
+
+        The sparse variant of :meth:`masked_power_sums`: each vulnerability's
+        exposed power, summed over the replicas whose row slice contains its
+        column.  The scalar fallback adds in ascending row order; array
+        backends group with their native reductions — bit-identical under the
+        same dyadic-power caveat as the dense method.
+        """
+
+    @abc.abstractmethod
+    def sparse_grid_partials(
+        self,
+        sparse: SparseExposure,
+        points: Sequence[ResolvedGridPoint],
+        *,
+        trials: int,
+        trial_offset: int = 0,
+        row_offset: int = 0,
+        total_rows: Optional[int] = None,
+    ) -> Tuple[SparseGridPartial, ...]:
+        """Row-range partial campaign sums for every resolved grid point.
+
+        This is the one sparse primitive backends implement; the concrete
+        :meth:`sparse_campaign_trials` / :meth:`sparse_campaign_grid` wrappers
+        and the engines' replica-range chunking are built on it.  ``sparse``
+        holds rows ``row_offset .. row_offset + sparse.replica_count - 1`` of
+        a logical ``total_rows``-replica exposure (``total_rows=None`` means
+        the structure is the whole population).  Per point ``p``, the exploit
+        indicator for trial ``t`` and local cell ``(r, v)`` is::
+
+            campaign_uniform(p.seed,
+                             (trial_offset + t) * total_rows * V_p
+                             + (row_offset + r) * V_p + v)
+                < p.probabilities[v]
+
+        with ``V_p = len(p.columns)`` and ``p.columns`` indexing
+        ``sparse``'s column space — the exact cells a full-range dense
+        :meth:`campaign_grid` call draws for these rows.  Both the trial and
+        the row counter are global, so partitioning the rows (or the trials)
+        across calls and summing the partials reproduces the unpartitioned
+        sums: chunk boundaries are invisible by construction.
+
+        Returns one :class:`SparseGridPartial` per point; callers apply the
+        per-trial verdicts via :func:`finalize_sparse_point` only after all
+        row ranges are merged.
+        """
+
+    def sparse_campaign_trials(
+        self,
+        sparse: SparseExposure,
+        *,
+        trials: int,
+        seed: int,
+        tolerance: float,
+        total_power: float,
+        trial_offset: int = 0,
+    ) -> CampaignBatchResult:
+        """Sparse variant of :meth:`campaign_trials` — same stream, CSR input.
+
+        Bit-identical to a dense :meth:`campaign_trials` call on the
+        densified matrix (dyadic-power caveat on the float totals; verdicts
+        and counts exact for the shipped scenarios).  Concrete: one
+        full-row-range :meth:`sparse_grid_partials` call over every column
+        plus the shared verdict reduction.  Engines that need bounded memory
+        chunk the rows through the partials primitive directly.
+        """
+        from repro.core.exceptions import BackendError
+
+        sparse.validate()
+        if sparse.replica_count == 0:
+            raise BackendError("campaign_trials needs at least one replica")
+        if sparse.column_count == 0:
+            raise BackendError("campaign_trials needs at least one vulnerability")
+        if trials <= 0:
+            raise BackendError(f"trial count must be positive, got {trials}")
+        if trial_offset < 0:
+            raise BackendError(
+                f"trial offset must be non-negative, got {trial_offset}"
+            )
+        if not 0.0 < tolerance <= 1.0:
+            raise BackendError(f"tolerance must be in (0, 1], got {tolerance}")
+        if total_power <= 0:
+            raise BackendError(f"total power must be positive, got {total_power}")
+        point = ResolvedGridPoint(
+            columns=tuple(range(sparse.column_count)),
+            probabilities=tuple(
+                float(p) for p in sparse.success_probabilities
+            ),
+            tolerances=(tolerance,),
+            seed=seed,
+        )
+        partial = self.sparse_grid_partials(
+            sparse, (point,), trials=trials, trial_offset=trial_offset
+        )[0]
+        result = finalize_sparse_point(
+            partial,
+            trials=trials,
+            columns=point.columns,
+            tolerances=point.tolerances,
+            total_power=total_power,
+        )
+        return CampaignBatchResult(
+            trials=trials,
+            violations=result.violations[0],
+            compromised_total=result.compromised_total,
+            per_vulnerability_totals=result.per_vulnerability_totals,
+        )
+
+    def sparse_campaign_grid(
+        self,
+        sparse: SparseExposure,
+        points: Sequence[CampaignGridPoint],
+        *,
+        trials: int,
+        seed: int,
+        total_power: float,
+        trial_offset: int = 0,
+        dtype: str = "float64",
+        topk: str = "sort",
+    ) -> Tuple[CampaignGridPointResult, ...]:
+        """Sparse variant of :meth:`campaign_grid` over a CSR exposure.
+
+        Points select columns of ``sparse`` exactly as the dense method
+        selects matrix columns (explicitly or by ``budget`` over the sparse
+        exposed powers), and every point's sub-stream matches the dense fused
+        kernel's.  The ``dtype``/``topk`` knobs are validated for parity but
+        the sparse path always runs the exact float64/sort route — the
+        contract's fall-back, never an error.
+        """
+        validate_sparse_grid_arguments(
+            sparse,
+            points,
+            trials=trials,
+            total_power=total_power,
+            trial_offset=trial_offset,
+            dtype=dtype,
+            topk=topk,
+        )
+        exposed = (
+            self.sparse_masked_power_sums(sparse)
+            if any(point.budget is not None for point in points)
+            else None
+        )
+        resolved = resolve_grid_points(
+            points,
+            base_probabilities=sparse.success_probabilities,
+            seed=seed,
+            exposed_powers=exposed,
+        )
+        partials = self.sparse_grid_partials(
+            sparse, resolved, trials=trials, trial_offset=trial_offset
+        )
+        return tuple(
+            finalize_sparse_point(
+                partial,
+                trials=trials,
+                columns=point.columns,
+                tolerances=point.tolerances,
+                total_power=total_power,
+            )
+            for point, partial in zip(resolved, partials)
+        )
 
     # -- entropy kernel ---------------------------------------------------------
 
@@ -540,6 +1035,15 @@ def validate_grid_arguments(
         raise BackendError(
             f"grid topk mode must be one of {GRID_TOPK_MODES}, got {topk!r}"
         )
+    _validate_grid_point_list(points, column_count)
+
+
+def _validate_grid_point_list(
+    points: Sequence[CampaignGridPoint], column_count: int
+) -> None:
+    """Per-point grid validation shared by the dense and sparse entry points."""
+    from repro.core.exceptions import BackendError
+
     if len(points) == 0:
         raise BackendError(
             "campaign_grid needs at least one grid point — an empty grid is a "
@@ -616,6 +1120,106 @@ def validate_grid_arguments(
             "campaign_grid points must be distinct — duplicate grid points "
             "share a seed offset and would silently double-count one scenario"
         )
+
+
+def validate_sparse_grid_arguments(
+    sparse: SparseExposure,
+    points: Sequence[CampaignGridPoint],
+    *,
+    trials: int,
+    total_power: float,
+    trial_offset: int = 0,
+    dtype: str = "float64",
+    topk: str = "sort",
+) -> None:
+    """Shared validation for :meth:`ComputeBackend.sparse_campaign_grid`.
+
+    Mirrors :func:`validate_grid_arguments` over a CSR structure — the same
+    errors for the same malformed input, on both backends.
+    """
+    from repro.core.exceptions import BackendError
+
+    sparse.validate()
+    if sparse.replica_count == 0:
+        raise BackendError("campaign_grid needs at least one replica")
+    if sparse.column_count == 0:
+        raise BackendError("campaign_grid needs at least one vulnerability")
+    if trials <= 0:
+        raise BackendError(f"trial count must be positive, got {trials}")
+    if trial_offset < 0:
+        raise BackendError(f"trial offset must be non-negative, got {trial_offset}")
+    if total_power <= 0:
+        raise BackendError(f"total power must be positive, got {total_power}")
+    if dtype not in GRID_DTYPES:
+        raise BackendError(
+            f"grid dtype must be one of {GRID_DTYPES}, got {dtype!r}"
+        )
+    if topk not in GRID_TOPK_MODES:
+        raise BackendError(
+            f"grid topk mode must be one of {GRID_TOPK_MODES}, got {topk!r}"
+        )
+    _validate_grid_point_list(points, sparse.column_count)
+
+
+def validate_sparse_partial_arguments(
+    sparse: SparseExposure,
+    points: Sequence[ResolvedGridPoint],
+    *,
+    trials: int,
+    trial_offset: int = 0,
+    row_offset: int = 0,
+    total_rows: Optional[int] = None,
+) -> int:
+    """Shared validation for :meth:`ComputeBackend.sparse_grid_partials`.
+
+    Returns the effective logical row count (``total_rows`` or the
+    structure's own), after checking that the row chunk fits inside it.
+    """
+    from repro.core.exceptions import BackendError
+
+    sparse.validate()
+    if sparse.replica_count == 0:
+        raise BackendError("sparse_grid_partials needs at least one replica")
+    if sparse.column_count == 0:
+        raise BackendError("sparse_grid_partials needs at least one vulnerability")
+    if trials <= 0:
+        raise BackendError(f"trial count must be positive, got {trials}")
+    if trial_offset < 0:
+        raise BackendError(f"trial offset must be non-negative, got {trial_offset}")
+    if row_offset < 0:
+        raise BackendError(f"row offset must be non-negative, got {row_offset}")
+    total = (
+        total_rows if total_rows is not None else row_offset + sparse.replica_count
+    )
+    if total < row_offset + sparse.replica_count:
+        raise BackendError(
+            f"total_rows={total} cannot hold rows "
+            f"[{row_offset}, {row_offset + sparse.replica_count})"
+        )
+    if len(points) == 0:
+        raise BackendError("sparse_grid_partials needs at least one grid point")
+    for position, point in enumerate(points):
+        where = f"resolved grid point #{position}"
+        if len(point.columns) == 0:
+            raise BackendError(f"{where} selects no columns")
+        if len(point.probabilities) != len(point.columns):
+            raise BackendError(
+                f"{where}: {len(point.probabilities)} probabilities for "
+                f"{len(point.columns)} columns"
+            )
+        seen = set()
+        for column in point.columns:
+            if not 0 <= column < sparse.column_count:
+                raise BackendError(
+                    f"{where}: column {column} out of range for "
+                    f"{sparse.column_count} vulnerabilities"
+                )
+            if column in seen:
+                raise BackendError(f"{where}: duplicate column {column}")
+            seen.add(column)
+        if any(not 0.0 <= p <= 1.0 for p in point.probabilities):
+            raise BackendError(f"{where}: success probabilities must be in [0, 1]")
+    return total
 
 
 def resolve_grid_points(

@@ -17,7 +17,8 @@ deterministic for a fixed seed on this backend.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+import array as _stdlib_array
+from typing import Optional, Sequence, Tuple
 
 from repro.backend.base import (
     CAMPAIGN_FRACTION_SLACK,
@@ -25,6 +26,9 @@ from repro.backend.base import (
     CampaignGridPoint,
     CampaignGridPointResult,
     ComputeBackend,
+    ResolvedGridPoint,
+    SparseExposure,
+    SparseGridPartial,
     TrialBatchResult,
     _INV_2_53,
     _MASK64,
@@ -35,6 +39,7 @@ from repro.backend.base import (
     resolve_grid_points,
     validate_campaign_arguments,
     validate_grid_arguments,
+    validate_sparse_partial_arguments,
     validate_trial_arguments,
 )
 from repro.core.exceptions import BackendError
@@ -49,18 +54,36 @@ except ImportError:  # pragma: no cover - depends on environment
 _CHUNK_CELLS = 2_000_000
 
 
+def _buffer_array(values: Sequence, dtype) -> "_np.ndarray":
+    """A NumPy view/copy of a sequence, zero-copy for stdlib ``array`` buffers.
+
+    ``np.asarray`` walks stdlib arrays element by element (they expose no
+    ``__array_interface__``); ``frombuffer`` reads the million-entry CSR
+    index buffers without a Python-level loop.
+    """
+    if isinstance(values, _stdlib_array.array):
+        viewed = _np.frombuffer(values, dtype=_np.dtype(values.typecode))
+        return viewed.astype(dtype, copy=False)
+    return _np.asarray(values, dtype=dtype)
+
+
 def _argpartition_topk(exposed_powers: Sequence[float], count: int) -> Tuple[int, ...]:
     """``grid_topk_columns`` via ``argpartition`` — O(V) selection, O(k log k) order.
 
-    The selected set is ordered exactly like the sort path; only *which*
-    columns make the cut can differ when ties straddle the partition
-    boundary (argpartition breaks power ties arbitrarily, the exact path by
-    column index) — hence ``topk="argpartition"`` is tolerance-pinned.
+    Bit-identical to the exact sort path, ties included: ``argpartition``
+    breaks power ties arbitrarily, so the partition only determines the
+    threshold (the ``count``-th largest power); the selection itself takes
+    every strictly-greater column plus threshold-tied columns in ascending
+    index order — exactly the ``(-power, column)`` ranking of
+    :func:`~repro.backend.base.grid_topk_columns`.
     """
     powers = _np.asarray(exposed_powers, dtype=_np.float64)
     if count >= powers.size:
         return grid_topk_columns(exposed_powers, count)
-    selected = _np.argpartition(-powers, count - 1)[:count].tolist()
+    threshold = powers[_np.argpartition(-powers, count - 1)[count - 1]]
+    above = _np.nonzero(powers > threshold)[0]
+    tied = _np.nonzero(powers == threshold)[0]
+    selected = above.tolist() + tied[: count - above.size].tolist()
     selected.sort(key=lambda column: (-powers[column], column))
     return tuple(selected)
 
@@ -458,6 +481,149 @@ class NumpyBackend(ComputeBackend):
             )
             for index, point in enumerate(resolved)
         )
+
+    def sparse_masked_power_sums(
+        self, sparse: SparseExposure
+    ) -> Tuple[float, ...]:
+        sparse.validate()
+        indptr = _buffer_array(sparse.indptr, _np.int64)
+        indices = _buffer_array(sparse.indices, _np.int64)
+        powers = _buffer_array(sparse.powers, _np.float64)
+        weights = _np.repeat(powers, _np.diff(indptr))
+        sums = _np.bincount(
+            indices, weights=weights, minlength=sparse.column_count
+        )
+        return tuple(float(value) for value in sums)
+
+    def sparse_grid_partials(
+        self,
+        sparse: SparseExposure,
+        points: Sequence[ResolvedGridPoint],
+        *,
+        trials: int,
+        trial_offset: int = 0,
+        row_offset: int = 0,
+        total_rows: Optional[int] = None,
+    ) -> Tuple[SparseGridPartial, ...]:
+        total = validate_sparse_partial_arguments(
+            sparse,
+            points,
+            trials=trials,
+            trial_offset=trial_offset,
+            row_offset=row_offset,
+            total_rows=total_rows,
+        )
+        indptr = _buffer_array(sparse.indptr, _np.int64)
+        all_columns = _buffer_array(sparse.indices, _np.int64)
+        powers = _buffer_array(sparse.powers, _np.float64)
+        # CSR nonzeros are already row-major — exactly the flat-cell layout
+        # the dense fused grid kernel sorts into — so each point's cells come
+        # straight from a boolean take over the shared (row, column) vectors.
+        all_rows = _np.repeat(
+            _np.arange(sparse.replica_count, dtype=_np.int64), _np.diff(indptr)
+        )
+        results = []
+        for point in points:
+            column_count = len(point.columns)
+            lut = _np.full(sparse.column_count, -1, dtype=_np.int64)
+            lut[_np.asarray(point.columns, dtype=_np.int64)] = _np.arange(
+                column_count, dtype=_np.int64
+            )
+            local = lut[all_columns]
+            keep = local >= 0
+            rows = all_rows[keep]
+            local_columns = local[keep]
+            per_trial = _np.zeros(trials, dtype=_np.float64)
+            per_vulnerability = _np.zeros(column_count, dtype=_np.float64)
+            cells = int(rows.size)
+            if cells:
+                probabilities = _np.asarray(
+                    point.probabilities, dtype=_np.float64
+                )
+                # Same integer-threshold compare as the dense grid kernel:
+                # u = z >> 11 < ceil(p * 2^53) iff u * 2^-53 < p.
+                cell_threshold = _np.ceil(
+                    probabilities[local_columns] * float(1 << 53)
+                ).astype(_np.uint64)
+                cell_offset = (
+                    (rows + row_offset).astype(_np.uint64)
+                    * _np.uint64(column_count)
+                    + local_columns.astype(_np.uint64)
+                    + _np.uint64(1)
+                )
+                cell_power = powers[rows]
+                mult = _np.uint64(total * column_count)
+                seed64 = _np.uint64(point.seed & _MASK64)
+                gamma = _np.uint64(_SPLITMIX_GAMMA)
+                # Row-major cells make each replica one contiguous run.
+                hit_rows, row_starts = _np.unique(rows, return_index=True)
+                seg_weight = powers[hit_rows]
+                narrow = column_count < 256
+                chunk_trials = max(1, _CHUNK_CELLS // cells)
+                z_buffer = _np.empty(
+                    (min(chunk_trials, trials), cells), dtype=_np.uint64
+                )
+                mix_buffer = _np.empty_like(z_buffer)
+                success_buffer = _np.empty(z_buffer.shape, dtype=_np.bool_)
+                start = 0
+                while start < trials:
+                    batch = min(chunk_trials, trials - start)
+                    z = z_buffer[:batch]
+                    mixed = mix_buffer[:batch]
+                    success = success_buffer[:batch]
+                    trial_ids = _np.arange(
+                        trial_offset + start,
+                        trial_offset + start + batch,
+                        dtype=_np.uint64,
+                    )
+                    # z = seed + (trial*stride + global_row*V + col + 1) *
+                    # gamma, in place on two chunk-sized buffers.
+                    _np.multiply(trial_ids[:, None], mult, out=z)
+                    z += cell_offset[None, :]
+                    z *= gamma
+                    z += seed64
+                    _np.right_shift(z, _np.uint64(30), out=mixed)
+                    z ^= mixed
+                    z *= _np.uint64(_SPLITMIX_MIX1)
+                    _np.right_shift(z, _np.uint64(27), out=mixed)
+                    z ^= mixed
+                    z *= _np.uint64(_SPLITMIX_MIX2)
+                    _np.right_shift(z, _np.uint64(31), out=mixed)
+                    z ^= mixed
+                    _np.right_shift(z, _np.uint64(11), out=mixed)
+                    _np.less(mixed, cell_threshold[None, :], out=success)
+                    counts = success.sum(axis=0, dtype=_np.int64)
+                    per_vulnerability += _np.bincount(
+                        local_columns,
+                        weights=counts * cell_power,
+                        minlength=column_count,
+                    )
+                    if narrow:
+                        hit = (
+                            _np.add.reduceat(
+                                success.view(_np.uint8), row_starts, axis=1
+                            )
+                            > 0
+                        )
+                    else:
+                        hit = _np.logical_or.reduceat(
+                            success, row_starts, axis=1
+                        )
+                    per_trial[start : start + batch] = (
+                        hit @ seg_weight
+                    ).astype(_np.float64)
+                    start += batch
+            results.append(
+                SparseGridPartial(
+                    per_trial_compromised=tuple(
+                        float(value) for value in per_trial
+                    ),
+                    per_vulnerability_totals=tuple(
+                        float(value) for value in per_vulnerability
+                    ),
+                )
+            )
+        return tuple(results)
 
     def shannon_entropy(self, probabilities: Sequence[float], *, base: float = 2.0) -> float:
         if base <= 0 or base == 1:

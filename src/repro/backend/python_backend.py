@@ -11,7 +11,7 @@ backends are tested against.
 from __future__ import annotations
 
 import random
-from typing import Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.backend.base import (
     CAMPAIGN_FRACTION_SLACK,
@@ -19,6 +19,9 @@ from repro.backend.base import (
     CampaignGridPoint,
     CampaignGridPointResult,
     ComputeBackend,
+    ResolvedGridPoint,
+    SparseExposure,
+    SparseGridPartial,
     TrialBatchResult,
     _INV_2_53,
     _MASK64,
@@ -28,6 +31,7 @@ from repro.backend.base import (
     resolve_grid_points,
     validate_campaign_arguments,
     validate_grid_arguments,
+    validate_sparse_partial_arguments,
     validate_trial_arguments,
 )
 from repro.core import entropy as entropy_module
@@ -96,6 +100,70 @@ def _scalar_campaign(
             if fraction >= threshold:
                 violations[position] += 1
     return tuple(violations), compromised_total, tuple(per_vulnerability)
+
+
+def _scalar_campaign_partials(
+    exposed_rows: Sequence[Sequence[int]],
+    powers: Sequence[float],
+    probabilities: Sequence[float],
+    *,
+    trials: int,
+    seed: int,
+    trial_offset: int,
+    row_offset: int,
+    total_rows: int,
+) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    """Row-range variant of :func:`_scalar_campaign` without the verdicts.
+
+    Identical iteration (columns, then exposed rows ascending, then the
+    ascending-row compromised sum), but the counter index addresses the
+    *global* cell — ``(trial_offset + t) * total_rows * V +
+    (row_offset + r) * V + c`` — and the per-trial compromised powers are
+    returned instead of being compared against thresholds, so row chunks
+    merge before the verdict is taken.
+    """
+    replica_count = len(powers)
+    column_count = len(probabilities)
+    seed64 = seed & _MASK64
+    cells_per_trial = total_rows * column_count
+    per_trial: List[float] = []
+    per_vulnerability = [0.0] * column_count
+    for trial in range(trials):
+        base_index = (trial_offset + trial) * cells_per_trial
+        hit = [False] * replica_count
+        for column, probability in enumerate(probabilities):
+            if probability <= 0.0:
+                continue
+            certain = probability >= 1.0
+            column_power = 0.0
+            for row in exposed_rows[column]:
+                if not certain:
+                    # Inline campaign_uniform (splitmix64) — the scalar hot
+                    # loop, addressing the global (row_offset + row) cell.
+                    z = (
+                        seed64
+                        + (
+                            base_index
+                            + (row_offset + row) * column_count
+                            + column
+                            + 1
+                        )
+                        * _SPLITMIX_GAMMA
+                    ) & _MASK64
+                    z = ((z ^ (z >> 30)) * _SPLITMIX_MIX1) & _MASK64
+                    z = ((z ^ (z >> 27)) * _SPLITMIX_MIX2) & _MASK64
+                    z ^= z >> 31
+                    if (z >> 11) * _INV_2_53 >= probability:
+                        continue
+                column_power += powers[row]
+                hit[row] = True
+            per_vulnerability[column] += column_power
+        compromised = 0.0
+        for row in range(replica_count):
+            if hit[row]:
+                compromised += powers[row]
+        per_trial.append(compromised)
+    return tuple(per_trial), tuple(per_vulnerability)
 
 
 class PythonBackend(ComputeBackend):
@@ -276,6 +344,75 @@ class PythonBackend(ComputeBackend):
                     columns=point.columns,
                     violations=violations,
                     compromised_total=compromised_total,
+                    per_vulnerability_totals=per_vulnerability,
+                )
+            )
+        return tuple(results)
+
+    def sparse_masked_power_sums(
+        self, sparse: SparseExposure
+    ) -> Tuple[float, ...]:
+        sparse.validate()
+        sums = [0.0] * sparse.column_count
+        indptr = sparse.indptr
+        indices = sparse.indices
+        powers = sparse.powers
+        # Ascending row order, like the dense scalar reduction.
+        for row in range(sparse.replica_count):
+            power = powers[row]
+            for position in range(indptr[row], indptr[row + 1]):
+                sums[indices[position]] += power
+        return tuple(sums)
+
+    def sparse_grid_partials(
+        self,
+        sparse: SparseExposure,
+        points: Sequence[ResolvedGridPoint],
+        *,
+        trials: int,
+        trial_offset: int = 0,
+        row_offset: int = 0,
+        total_rows: Optional[int] = None,
+    ) -> Tuple[SparseGridPartial, ...]:
+        total = validate_sparse_partial_arguments(
+            sparse,
+            points,
+            trials=trials,
+            trial_offset=trial_offset,
+            row_offset=row_offset,
+            total_rows=total_rows,
+        )
+        indptr = sparse.indptr
+        indices = sparse.indices
+        results = []
+        for point in points:
+            # One CSR pass per point builds the per-local-column exposed-row
+            # lists in ascending row order — the dense kernels' column-major
+            # iteration layout.
+            local = [-1] * sparse.column_count
+            for position, column in enumerate(point.columns):
+                local[column] = position
+            exposed_rows: Tuple[List[int], ...] = tuple(
+                [] for _ in point.columns
+            )
+            for row in range(sparse.replica_count):
+                for position in range(indptr[row], indptr[row + 1]):
+                    slot = local[indices[position]]
+                    if slot != -1:
+                        exposed_rows[slot].append(row)
+            per_trial, per_vulnerability = _scalar_campaign_partials(
+                exposed_rows,
+                sparse.powers,
+                point.probabilities,
+                trials=trials,
+                seed=point.seed,
+                trial_offset=trial_offset,
+                row_offset=row_offset,
+                total_rows=total,
+            )
+            results.append(
+                SparseGridPartial(
+                    per_trial_compromised=per_trial,
                     per_vulnerability_totals=per_vulnerability,
                 )
             )

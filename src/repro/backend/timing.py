@@ -14,10 +14,28 @@ documents, golden snapshots, or cache keys.
 
 from __future__ import annotations
 
+import resource
+import sys
 import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
+
+
+def peak_rss_kb() -> int:
+    """This process's lifetime peak resident set size, in KiB.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; normalised here so
+    callers never branch on platform.  The value is a lifetime high-water mark
+    — it only ever grows — so bounded-memory claims must be gated in a process
+    that runs *only* the workload under test (``repro.cli bench-population``
+    runs its sparse-only sweep that way), while the orchestrator attaches it
+    to result volatile sections as a per-worker observability signal.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        peak //= 1024
+    return int(peak)
 
 #: One kernel's accumulated counters as a plain JSON-safe dict.
 KernelCounter = Dict[str, float]

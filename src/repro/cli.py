@@ -74,6 +74,12 @@ from repro.analysis.campaign_benchmark import (
     benchmark_campaigns,
     write_campaign_snapshot,
 )
+from repro.analysis.population_benchmark import (
+    DEFAULT_DENSE_LIMIT,
+    DEFAULT_POPULATION_SIZES,
+    benchmark_population,
+    write_population_snapshot,
+)
 from repro.analysis.grid_benchmark import (
     benchmark_grid,
     write_grid_snapshot,
@@ -529,6 +535,56 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the JSON perf snapshot here (e.g. BENCH_8.json)",
+    )
+
+    bench_population_parser = subparsers.add_parser(
+        "bench-population",
+        help="time the streaming sparse population plane across replica "
+        "scales, with a dense bit-identity check at overlapping sizes",
+    )
+    bench_population_parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_POPULATION_SIZES),
+        metavar="N",
+        help="population sizes to sweep (default: 10^4 10^5 10^6)",
+    )
+    bench_population_parser.add_argument("--trials", type=int, default=32)
+    bench_population_parser.add_argument(
+        "--ecosystem",
+        choices=sorted(ECOSYSTEM_GENERATORS),
+        default="default",
+        help="ecosystem the benchmark population streams from",
+    )
+    bench_population_parser.add_argument(
+        "--exploit-probability", type=float, default=0.45
+    )
+    bench_population_parser.add_argument("--seed", type=int, default=29)
+    bench_population_parser.add_argument(
+        "--repeats", type=int, default=1, help="timed repeats per stage (best counts)"
+    )
+    bench_population_parser.add_argument(
+        "--dense-limit",
+        type=int,
+        default=DEFAULT_DENSE_LIMIT,
+        metavar="N",
+        help="largest size to also materialize densely and compare "
+        "bit-for-bit (0 skips the dense path entirely — required for a "
+        "meaningful memory-ceiling gate, since peak RSS never shrinks)",
+    )
+    bench_population_parser.add_argument(
+        "--memory-ceiling-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="fail (exit 1) if peak RSS exceeds this ceiling",
+    )
+    bench_population_parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the JSON perf snapshot here (e.g. BENCH_9.json)",
     )
     return parser
 
@@ -1000,6 +1056,66 @@ def _command_bench_grid(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_population(arguments: argparse.Namespace) -> int:
+    report = benchmark_population(
+        sizes=tuple(arguments.sizes),
+        trials=arguments.trials,
+        ecosystem=arguments.ecosystem,
+        exploit_probability=arguments.exploit_probability,
+        seed=arguments.seed,
+        repeats=arguments.repeats,
+        dense_limit=arguments.dense_limit,
+        memory_ceiling_mb=arguments.memory_ceiling_mb,
+    )
+    print(
+        f"sparse population bench: {report.backend} backend, "
+        f"{report.ecosystem} ecosystem ({report.vulnerabilities} "
+        f"vulnerabilities), {report.trials} trials, seed={report.seed}, "
+        f"dense limit {report.dense_limit}"
+    )
+    table = Table(
+        headers=(
+            "replicas",
+            "nnz",
+            "build sec",
+            "sparse sec",
+            "sparse trials/sec",
+            "dense sec",
+            "identical",
+            "peak RSS KiB",
+        )
+    )
+    for point in report.points:
+        table.add_row(
+            point.size,
+            point.nnz,
+            point.build_seconds,
+            point.sparse_seconds,
+            point.sparse_trials_per_second,
+            "-" if point.dense_seconds is None else point.dense_seconds,
+            "-"
+            if point.identical_sparse_vs_dense is None
+            else point.identical_sparse_vs_dense,
+            point.peak_rss_kb,
+        )
+    print(table.render())
+    identical = report.identical_sparse_vs_dense()
+    if identical is not None:
+        print(f"sparse identical to dense at overlapping scales: {identical}")
+    print(f"peak RSS: {report.peak_rss_kb()} KiB")
+    if arguments.output:
+        write_population_snapshot(report, arguments.output)
+        print(f"snapshot written to {arguments.output}")
+    if report.within_memory_ceiling() is False:
+        print(
+            f"error: peak RSS {report.peak_rss_kb()} KiB exceeds the "
+            f"{report.memory_ceiling_kb} KiB ceiling",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -1030,6 +1146,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_bench_campaign(arguments)
         if arguments.command == "bench-grid":
             return _command_bench_grid(arguments)
+        if arguments.command == "bench-population":
+            return _command_bench_population(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

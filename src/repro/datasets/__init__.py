@@ -19,6 +19,7 @@ from repro.datasets.bitcoin_pools import (
 from repro.datasets.generators import (
     dirichlet_distribution,
     oligopoly_distribution,
+    stream_replica_chunks,
     uniform_distribution,
     zipf_distribution,
 )

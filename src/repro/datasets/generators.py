@@ -6,15 +6,96 @@ oligopoly shapes so the entropy/resilience analysis can be swept over
 systematically varied concentration levels.  All generators are deterministic
 given an explicit :class:`random.Random` seed, which keeps every experiment
 reproducible.
+
+The module also hosts the **streaming population generators**:
+:func:`stream_replica_chunks` yields a synthetic ecosystem's population in
+bounded chunks, each replica a pure function of ``(seed, index)`` on the
+counter-based splitmix64 stream, so chunked generation equals one-shot
+generation for every chunk size — the bounded-memory feed for
+``PopulationMatrix.from_replica_chunks`` at million-replica scale.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.configuration import ReplicaConfiguration
 from repro.core.distribution import ConfigurationDistribution
-from repro.core.exceptions import DistributionError
+from repro.core.exceptions import ConfigurationError, DistributionError
+from repro.core.population import Replica
+from repro.datasets.software_ecosystem import SyntheticEcosystem
+
+#: Default replicas per chunk of :func:`stream_replica_chunks` — small enough
+#: that a chunk of Replica objects stays in tens of megabytes, large enough
+#: that per-chunk overhead vanishes at 10⁶ replicas.
+DEFAULT_REPLICA_CHUNK_SIZE = 65_536
+
+
+def stream_replica_chunks(
+    ecosystem: SyntheticEcosystem,
+    count: int,
+    *,
+    seed: int = 0,
+    chunk_size: int = DEFAULT_REPLICA_CHUNK_SIZE,
+    power: float = 1.0,
+    attested_fraction: float = 0.0,
+    prefix: str = "replica",
+) -> Iterator[Tuple[Replica, ...]]:
+    """Yield ``ecosystem``'s sampled population in bounded replica chunks.
+
+    Replica ``index`` is exactly the replica
+    ``ecosystem.sample_population(count, seed=seed, ...)`` would produce at
+    that index — same id, configuration (via
+    :meth:`SyntheticEcosystem.configuration_at`), power and attested flag —
+    but only ``chunk_size`` replicas exist at a time.  Because each replica
+    is a pure function of ``(seed, index)``, chunked generation equals
+    one-shot generation for identical seeds, for every chunk size, across
+    processes and backends.
+
+    Args:
+        ecosystem: the market-share model to sample from.
+        count: total number of replicas to generate.
+        seed: counter-based RNG seed.
+        chunk_size: replicas per yielded chunk (positive).
+        power: voting power assigned to every replica (per-replica power
+            vectors do not stream; use :meth:`~SyntheticEcosystem.sample_population`
+            when each replica needs its own power).
+        attested_fraction: fraction marked attested — the first
+            ``round(count * fraction)`` replicas, as in ``sample_population``.
+        prefix: replica id prefix.
+    """
+    if count <= 0:
+        raise ConfigurationError(f"population count must be positive, got {count}")
+    if chunk_size <= 0:
+        raise ConfigurationError(f"chunk size must be positive, got {chunk_size}")
+    if not 0.0 <= attested_fraction <= 1.0:
+        raise ConfigurationError(
+            f"attested fraction must be in [0, 1], got {attested_fraction}"
+        )
+    if power < 0:
+        raise ConfigurationError(f"replica power must be non-negative, got {power}")
+    attested_count = round(count * attested_fraction)
+    replica_power = float(power)
+    cache: Dict[Tuple[int, ...], ReplicaConfiguration] = {}
+    for start in range(0, count, chunk_size):
+        stop = min(start + chunk_size, count)
+        chunk: List[Replica] = []
+        for index in range(start, stop):
+            choices = ecosystem.choices_at(seed, index)
+            configuration = cache.get(choices)
+            if configuration is None:
+                configuration = ecosystem.configuration_for(choices)
+                cache[choices] = configuration
+            chunk.append(
+                Replica(
+                    replica_id=f"{prefix}-{index}",
+                    configuration=configuration,
+                    power=replica_power,
+                    attested=index < attested_count,
+                )
+            )
+        yield tuple(chunk)
 
 
 def _labels(count: int, prefix: str) -> List[str]:

@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.backend.base import campaign_uniform
 from repro.core.configuration import (
     ComponentKind,
     ReplicaConfiguration,
@@ -65,6 +66,27 @@ class ComponentMarket:
         name = rng.choices(names, weights=weights, k=1)[0]
         return SoftwareComponent(self.kind, name)
 
+    def choice_index(self, u: float) -> int:
+        """Index of the market choice at quantile ``u`` in ``[0, 1)``.
+
+        Walks the cumulative (unnormalized) shares, so the inverse-CDF draw
+        depends only on the share tuple and ``u`` — the deterministic
+        primitive the counter-based population sampling is built on.
+        """
+        total = sum(share for _, share in self.shares)
+        target = u * total
+        accumulated = 0.0
+        for index, (_, share) in enumerate(self.shares):
+            accumulated += share
+            if target < accumulated:
+                return index
+        return len(self.shares) - 1
+
+    def component_at(self, u: float) -> SoftwareComponent:
+        """The component at quantile ``u`` (see :meth:`choice_index`)."""
+        name, _ = self.shares[self.choice_index(u)]
+        return SoftwareComponent(self.kind, name)
+
 
 @dataclass(frozen=True)
 class SyntheticEcosystem:
@@ -88,9 +110,48 @@ class SyntheticEcosystem:
     def kinds(self) -> Tuple[ComponentKind, ...]:
         return tuple(market.kind for market in self.markets)
 
+    def components(self) -> Tuple[SoftwareComponent, ...]:
+        """Every component on offer, market-major — the catalog-building order."""
+        return tuple(
+            component
+            for market in self.markets
+            for component in market.components()
+        )
+
     def sample_configuration(self, rng: random.Random) -> ReplicaConfiguration:
         """Sample one full replica configuration component-by-component."""
         return ReplicaConfiguration([market.sample(rng) for market in self.markets])
+
+    def choices_at(self, seed: int, index: int) -> Tuple[int, ...]:
+        """Replica ``index``'s market choice indices in the seeded stream.
+
+        Market ``m`` of replica ``index`` draws
+        ``campaign_uniform(seed, index * len(markets) + m)`` — the same
+        counter-based splitmix64 stream the campaign kernels use, so sampled
+        ecosystems are identical across processes, platforms and backends,
+        and any replica can be generated without generating the ones before
+        it (the property the streaming generators rely on).
+        """
+        market_count = len(self.markets)
+        return tuple(
+            market.choice_index(
+                campaign_uniform(seed, index * market_count + position)
+            )
+            for position, market in enumerate(self.markets)
+        )
+
+    def configuration_for(self, choices: Sequence[int]) -> ReplicaConfiguration:
+        """The configuration picking ``choices[m]`` from market ``m``."""
+        return ReplicaConfiguration(
+            [
+                SoftwareComponent(market.kind, market.shares[choice][0])
+                for market, choice in zip(self.markets, choices)
+            ]
+        )
+
+    def configuration_at(self, seed: int, index: int) -> ReplicaConfiguration:
+        """Replica ``index``'s configuration — a pure function of ``(seed, index)``."""
+        return self.configuration_for(self.choices_at(seed, index))
 
     def sample_population(
         self,
@@ -104,9 +165,15 @@ class SyntheticEcosystem:
     ) -> ReplicaPopulation:
         """Sample a replica population whose configurations follow the markets.
 
+        Replica ``index`` is :meth:`configuration_at`'s pure function of
+        ``(seed, index)`` on the counter-based splitmix64 stream, so the
+        sampled population is bit-identical across processes, platforms and
+        compute backends (the stdlib ``random`` module it previously used
+        guarantees neither).
+
         Args:
             count: number of replicas.
-            seed: RNG seed for reproducibility.
+            seed: counter-based RNG seed for reproducibility.
             power: optional per-replica absolute power (defaults to 1 each).
             attested_fraction: fraction of replicas marked as attested, chosen
                 deterministically as the first ``round(count * fraction)``.
@@ -123,14 +190,21 @@ class SyntheticEcosystem:
             raise ConfigurationError(
                 f"attested fraction must be in [0, 1], got {attested_fraction}"
             )
-        rng = random.Random(seed)
         attested_count = round(count * attested_fraction)
+        # Distinct configurations are few (the product of market sizes), so
+        # one ReplicaConfiguration per distinct choice tuple is shared.
+        cache: Dict[Tuple[int, ...], ReplicaConfiguration] = {}
         replicas: List[Replica] = []
         for index in range(count):
+            choices = self.choices_at(seed, index)
+            configuration = cache.get(choices)
+            if configuration is None:
+                configuration = self.configuration_for(choices)
+                cache[choices] = configuration
             replicas.append(
                 Replica(
                     replica_id=f"{prefix}-{index}",
-                    configuration=self.sample_configuration(rng),
+                    configuration=configuration,
                     power=1.0 if power is None else float(power[index]),
                     attested=index < attested_count,
                 )

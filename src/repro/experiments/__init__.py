@@ -23,6 +23,7 @@ from repro.experiments.diversity_ablation import run_diversity_ablation
 from repro.experiments.vulnerability_window import run_vulnerability_window
 from repro.experiments.decentralized_pools import run_decentralized_pools
 from repro.experiments.component_exposure import run_component_exposure
+from repro.experiments.ecosystem_scale import run_ecosystem_scale
 
 __all__ = [
     "run_attestation_coverage",
@@ -32,6 +33,7 @@ __all__ = [
     "run_component_exposure",
     "run_decentralized_pools",
     "run_diversity_ablation",
+    "run_ecosystem_scale",
     "run_example1",
     "run_figure1",
     "run_proposition1",

@@ -225,10 +225,14 @@ class ResultCache:
             result = ExperimentResult.from_dict(document)
         except OrchestrationError:
             return None
-        # Kernel counters describe the run that *built* the result; a cache
-        # hit ran no kernels, so they reset along with the cached flag.
+        # Kernel counters and peak RSS describe the run that *built* the
+        # result; a cache hit ran no kernels and cost no build memory, so
+        # they reset along with the cached flag.
         return result.with_volatile(
-            wall_time_seconds=result.wall_time_seconds, cached=True, kernel_counters={}
+            wall_time_seconds=result.wall_time_seconds,
+            cached=True,
+            kernel_counters={},
+            peak_rss_kb=0,
         )
 
     def store(

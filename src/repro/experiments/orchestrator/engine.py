@@ -32,7 +32,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.backend import get_backend
 from repro.backend.selection import use_backend
-from repro.backend.timing import KERNEL_TIMINGS
+from repro.backend.timing import KERNEL_TIMINGS, peak_rss_kb
 from repro.experiments.orchestrator.cache import ResultCache
 from repro.experiments.orchestrator.resilient import DEFAULT_RETRIES, ResilientExecutor
 from repro.experiments.orchestrator.result import ExperimentResult, jsonify
@@ -75,6 +75,7 @@ def execute_spec(
         seed=spec.seed,
         wall_time_seconds=elapsed,
         kernel_counters=KERNEL_TIMINGS.delta_since(timings_before),
+        peak_rss_kb=peak_rss_kb(),
     )
 
 

@@ -20,6 +20,7 @@ from repro.experiments import (
     component_exposure,
     decentralized_pools,
     diversity_ablation,
+    ecosystem_scale,
     example1,
     figure1,
     prop1,
@@ -50,6 +51,7 @@ ALL_SPECS: Tuple[ExperimentSpec, ...] = (
     campaign_budget.SPEC,
     campaign_reliability.SPEC,
     campaign_churn.SPEC,
+    ecosystem_scale.SPEC,
 )
 
 _BY_ID: Dict[str, ExperimentSpec] = {spec.experiment_id: spec for spec in ALL_SPECS}

@@ -100,6 +100,12 @@ class ExperimentResult:
             for experiments that never touch the backend kernels).  Like wall
             time, it describes *this run*, not the result, so it never enters
             the canonical view.
+        peak_rss_kb: volatile — the building process's peak resident set size
+            in KiB, sampled right after the build (0 on cache hits and for
+            documents that predate the field).  A lifetime high-water mark of
+            whichever process ran the build — a pool worker under parallel
+            execution — so the serve layer can surface build memory pressure
+            in ``/metrics`` without instrumenting workers separately.
     """
 
     experiment_id: str
@@ -112,6 +118,7 @@ class ExperimentResult:
     wall_time_seconds: float = 0.0
     cached: bool = False
     kernel_counters: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+    peak_rss_kb: int = 0
 
     def canonical_dict(self) -> Dict[str, Any]:
         """The deterministic JSON view (no wall time, no cache provenance)."""
@@ -142,6 +149,7 @@ class ExperimentResult:
         document["kernel_counters"] = jsonify(
             self.kernel_counters, where=f"{self.experiment_id} kernel counters"
         )
+        document["peak_rss_kb"] = int(self.peak_rss_kb)
         return document
 
     @classmethod
@@ -164,6 +172,7 @@ class ExperimentResult:
                 wall_time_seconds=float(document.get("wall_time_seconds", 0.0)),
                 cached=bool(document.get("cached", False)),
                 kernel_counters=dict(document.get("kernel_counters") or {}),
+                peak_rss_kb=int(document.get("peak_rss_kb", 0)),
             )
         except (KeyError, TypeError, ValueError, ReproError) as error:
             # ReproError covers AnalysisError from Table.from_dict: every
@@ -176,6 +185,7 @@ class ExperimentResult:
         wall_time_seconds: float,
         cached: bool,
         kernel_counters: Optional[Mapping[str, Mapping[str, float]]] = None,
+        peak_rss_kb: Optional[int] = None,
     ) -> "ExperimentResult":
         """A copy with the volatile fields replaced (canonical view unchanged)."""
         return ExperimentResult(
@@ -191,6 +201,7 @@ class ExperimentResult:
             kernel_counters=(
                 self.kernel_counters if kernel_counters is None else kernel_counters
             ),
+            peak_rss_kb=(self.peak_rss_kb if peak_rss_kb is None else peak_rss_kb),
         )
 
 

@@ -31,7 +31,11 @@ from repro.backend.base import (
     CampaignBatchResult,
     CampaignGridPoint,
     CampaignGridPointResult,
+    ResolvedGridPoint,
+    SparseExposure,
     TrialBatchResult,
+    finalize_sparse_point,
+    merge_sparse_partials,
 )
 from repro.backend.selection import BackendLike
 from repro.backend.timing import timed_kernel
@@ -43,6 +47,107 @@ from repro.faults.campaign import reject_duplicate_vulnerability_ids
 from repro.faults.catalog import VulnerabilityCatalog
 from repro.faults.matrix import PopulationMatrix
 from repro.testing.chaos import chaos_checkpoint
+
+
+#: Default replica-range chunk for sparse campaigns: the engines never hand a
+#: backend more than this many CSR rows per kernel call, so peak working
+#: memory is bounded by the chunk, not the population.  The sparse stream
+#: contract's global row counter makes chunk boundaries invisible — chunked
+#: results equal unchunked results bit for bit (dyadic-power caveat on the
+#: float totals, exact for every shipped scenario).
+DEFAULT_CAMPAIGN_CHUNK_ROWS = 1 << 18
+
+
+def _run_sparse_grid(
+    backend,
+    sparse: SparseExposure,
+    points: Sequence[ResolvedGridPoint],
+    *,
+    trials: int,
+    trial_offset: int,
+    chunk_rows: int,
+    total_power: float,
+) -> Tuple[CampaignGridPointResult, ...]:
+    """Row-chunked sparse evaluation of already-resolved grid points.
+
+    Splits the CSR rows into ``chunk_rows`` ranges, collects each range's
+    partial sums per point (every chunk draws exactly its slice of the full
+    counter stream via ``row_offset``/``total_rows``), merges the partials in
+    ascending row order, and only then applies the per-trial verdicts — a
+    trial's compromised fraction couples all rows, so verdicts cannot be
+    taken per chunk.
+    """
+    if total_power <= 0:
+        from repro.core.exceptions import BackendError
+
+        raise BackendError(f"total power must be positive, got {total_power}")
+    total_rows = sparse.replica_count
+    step = max(1, chunk_rows)
+    chunks = []
+    for start in range(0, total_rows, step):
+        stop = min(start + step, total_rows)
+        piece = (
+            sparse if stop - start == total_rows else sparse.row_slice(start, stop)
+        )
+        with timed_kernel(
+            "sparse_campaign_partials", trials=trials * len(points)
+        ):
+            chunks.append(
+                backend.sparse_grid_partials(
+                    piece,
+                    points,
+                    trials=trials,
+                    trial_offset=trial_offset,
+                    row_offset=start,
+                    total_rows=total_rows,
+                )
+            )
+    merged = merge_sparse_partials(chunks)
+    return tuple(
+        finalize_sparse_point(
+            partial,
+            trials=trials,
+            columns=point.columns,
+            tolerances=point.tolerances,
+            total_power=total_power,
+        )
+        for point, partial in zip(points, merged)
+    )
+
+
+def _run_sparse_campaign(
+    backend,
+    sparse: SparseExposure,
+    *,
+    trials: int,
+    seed: int,
+    tolerance: float,
+    total_power: float,
+    trial_offset: int,
+    chunk_rows: int,
+) -> CampaignBatchResult:
+    """Row-chunked sparse equivalent of one ``campaign_trials`` kernel call."""
+    point = ResolvedGridPoint(
+        columns=tuple(range(sparse.column_count)),
+        probabilities=tuple(float(p) for p in sparse.success_probabilities),
+        tolerances=(tolerance,),
+        seed=seed,
+    )
+    result = _run_sparse_grid(
+        backend,
+        sparse,
+        (point,),
+        trials=trials,
+        trial_offset=trial_offset,
+        chunk_rows=chunk_rows,
+        total_power=total_power,
+    )[0]
+    return CampaignBatchResult(
+        trials=trials,
+        violations=result.violations[0],
+        compromised_total=result.compromised_total,
+        per_vulnerability_totals=result.per_vulnerability_totals,
+    )
 
 
 @dataclass(frozen=True)
@@ -87,29 +192,65 @@ class BatchCampaignEngine:
 
     def __init__(
         self,
-        population: ReplicaPopulation,
-        catalog: VulnerabilityCatalog,
+        population: Optional[ReplicaPopulation],
+        catalog: Optional[VulnerabilityCatalog],
         *,
         backend: BackendLike = None,
         matrix: Optional[PopulationMatrix] = None,
+        chunk_rows: int = DEFAULT_CAMPAIGN_CHUNK_ROWS,
     ) -> None:
+        if chunk_rows <= 0:
+            raise FaultModelError(
+                f"chunk row count must be positive, got {chunk_rows}"
+            )
+        if matrix is None:
+            if population is None or catalog is None:
+                raise FaultModelError(
+                    "an engine without a population and catalog needs an "
+                    "explicit matrix; use from_matrix()"
+                )
+            matrix = PopulationMatrix.build(population, catalog)
         self._population = population
         self._catalog = catalog
         self._backend = backend
-        self._matrix = matrix if matrix is not None else PopulationMatrix.build(
-            population, catalog
+        self._matrix = matrix
+        self._chunk_rows = chunk_rows
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: PopulationMatrix,
+        *,
+        backend: BackendLike = None,
+        chunk_rows: int = DEFAULT_CAMPAIGN_CHUNK_ROWS,
+    ) -> "BatchCampaignEngine":
+        """Engine over a pre-built matrix (e.g. a streamed sparse build).
+
+        Matrices built from replica chunks have no live population or
+        catalog object; planning falls back to the matrix's own
+        vulnerability vectors, and results are identical to an engine built
+        from the originating population/catalog pair.
+        """
+        return cls(
+            None, None, backend=backend, matrix=matrix, chunk_rows=chunk_rows
         )
+
+    def _catalog_size(self) -> int:
+        """Vulnerability count for validation messages (catalog may be absent)."""
+        if self._catalog is not None:
+            return len(self._catalog)
+        return self._matrix.vulnerability_count
 
     @property
     def matrix(self) -> PopulationMatrix:
         return self._matrix
 
     @property
-    def population(self) -> ReplicaPopulation:
+    def population(self) -> Optional[ReplicaPopulation]:
         return self._population
 
     @property
-    def catalog(self) -> VulnerabilityCatalog:
+    def catalog(self) -> Optional[VulnerabilityCatalog]:
         return self._catalog
 
     # -- batched estimation --------------------------------------------------------
@@ -147,6 +288,23 @@ class BatchCampaignEngine:
         batch: Optional[CampaignBatchResult] = None
         if plan.exploited:
             resolved = get_backend(self._backend)
+            if self._matrix.is_sparse:
+                sparse = (
+                    self._matrix.sparse_exposure()
+                    if plan.exploited == self._matrix.vulnerability_ids
+                    else self._matrix.sparse_columns_for(plan.exploited)
+                )
+                batch = _run_sparse_campaign(
+                    resolved,
+                    sparse,
+                    trials=trials,
+                    seed=seed,
+                    tolerance=plan.tolerance,
+                    total_power=self._matrix.total_power,
+                    trial_offset=0,
+                    chunk_rows=self._chunk_rows,
+                )
+                return self._finalize(plan, trials, batch)
             if plan.exploited == self._matrix.vulnerability_ids:
                 # Full-catalog campaigns reuse the matrix's per-backend cache.
                 exposure_array = self._matrix.exposure_array(resolved)
@@ -184,7 +342,7 @@ class BatchCampaignEngine:
         if not ids:
             raise FaultModelError(
                 "a campaign needs at least one vulnerability"
-                if len(self._catalog)
+                if self._catalog_size()
                 else "the catalog is empty; nothing to exploit"
             )
         reject_duplicate_vulnerability_ids(ids)
@@ -251,7 +409,7 @@ class BatchCampaignEngine:
             raise FaultModelError(
                 f"max vulnerabilities must be positive, got {max_vulnerabilities}"
             )
-        if len(self._catalog) == 0:
+        if self._catalog_size() == 0:
             raise FaultModelError("the catalog is empty; nothing to exploit")
         ranked = self._matrix.most_damaging(
             max_vulnerabilities, backend=self._backend, time=time
@@ -368,6 +526,42 @@ def _campaign_shard_worker(
     }
 
 
+def _sparse_campaign_shard_worker(
+    backend_name: str,
+    sparse: SparseExposure,
+    trials: int,
+    seed: int,
+    tolerance: float,
+    total_power: float,
+    trial_offset: int,
+    chunk_rows: int,
+) -> Dict[str, Any]:
+    """Pool-worker entry: one sparse shard's trials from a CSR exposure.
+
+    The :class:`SparseExposure` pickles compactly (stdlib ``array`` buffers)
+    across a process boundary, carrying its cached validation with it; the
+    return value mirrors :func:`_campaign_shard_worker`'s plain dict.
+    """
+    chaos_checkpoint("task", key=f"campaign-shard:{trial_offset}+{trials}")
+    resolved = get_backend(backend_name)
+    batch = _run_sparse_campaign(
+        resolved,
+        sparse.validate(),
+        trials=trials,
+        seed=seed,
+        tolerance=tolerance,
+        total_power=total_power,
+        trial_offset=trial_offset,
+        chunk_rows=chunk_rows,
+    )
+    return {
+        "trials": batch.trials,
+        "violations": batch.violations,
+        "compromised_total": batch.compromised_total,
+        "per_vulnerability_totals": list(batch.per_vulnerability_totals),
+    }
+
+
 class ShardedCampaignRun:
     """Fan a campaign's trial range out over resilient pool workers.
 
@@ -437,7 +631,15 @@ class ShardedCampaignRun:
         if not plan.exploited:
             return engine._finalize(plan, trials, None)
         matrix = engine.matrix
-        exposure_rows, probabilities = matrix.columns_for(plan.exploited)
+        sparse: Optional[SparseExposure] = None
+        if matrix.is_sparse:
+            sparse = (
+                matrix.sparse_exposure()
+                if plan.exploited == matrix.vulnerability_ids
+                else matrix.sparse_columns_for(plan.exploited)
+            )
+        else:
+            exposure_rows, probabilities = matrix.columns_for(plan.exploited)
         backend_name = get_backend(engine._backend).name
         ranges = split_trial_ranges(trials, self._max_workers)
         owned = self._executor is None
@@ -451,21 +653,37 @@ class ShardedCampaignRun:
             else self._executor
         )
         try:
-            futures = [
-                pool.submit(
-                    _campaign_shard_worker,
-                    backend_name,
-                    exposure_rows,
-                    matrix.powers,
-                    probabilities,
-                    count,
-                    seed,
-                    plan.tolerance,
-                    matrix.total_power,
-                    offset,
-                )
-                for offset, count in ranges
-            ]
+            if sparse is not None:
+                futures = [
+                    pool.submit(
+                        _sparse_campaign_shard_worker,
+                        backend_name,
+                        sparse,
+                        count,
+                        seed,
+                        plan.tolerance,
+                        matrix.total_power,
+                        offset,
+                        engine._chunk_rows,
+                    )
+                    for offset, count in ranges
+                ]
+            else:
+                futures = [
+                    pool.submit(
+                        _campaign_shard_worker,
+                        backend_name,
+                        exposure_rows,
+                        matrix.powers,
+                        probabilities,
+                        count,
+                        seed,
+                        plan.tolerance,
+                        matrix.total_power,
+                        offset,
+                    )
+                    for offset, count in ranges
+                ]
             batches = [
                 CampaignBatchResult(
                     trials=payload["trials"],
@@ -623,6 +841,33 @@ def merge_campaign_grid_batches(
     return tuple(merged)
 
 
+def _resolve_sparse_plan_points(
+    matrix: PopulationMatrix,
+    plans: Sequence["_GridPlan"],
+    seed: int,
+) -> Tuple[ResolvedGridPoint, ...]:
+    """Turn validated grid plans into explicit sparse kernel points.
+
+    Mirrors :func:`repro.backend.base.resolve_grid_points` for plans the
+    engine already gated and column-resolved: matrix-wide probabilities
+    unless the plan overrides them, per-point seed ``seed + seed_offset``.
+    """
+    probabilities = matrix.success_probabilities
+    return tuple(
+        ResolvedGridPoint(
+            columns=plan.columns,
+            probabilities=(
+                (float(plan.success_probability),) * len(plan.columns)
+                if plan.success_probability is not None
+                else tuple(probabilities[column] for column in plan.columns)
+            ),
+            tolerances=plan.tolerances,
+            seed=seed + plan.seed_offset,
+        )
+        for plan in plans
+    )
+
+
 class GridCampaignEngine:
     """Runs whole scenario grids as fused backend kernel calls.
 
@@ -643,29 +888,69 @@ class GridCampaignEngine:
 
     def __init__(
         self,
-        population: ReplicaPopulation,
-        catalog: VulnerabilityCatalog,
+        population: Optional[ReplicaPopulation],
+        catalog: Optional[VulnerabilityCatalog],
         *,
         backend: BackendLike = None,
         matrix: Optional[PopulationMatrix] = None,
         dtype: str = "float64",
         topk: str = "sort",
         max_chunk_cells: int = DEFAULT_GRID_CHUNK_CELLS,
+        chunk_rows: int = DEFAULT_CAMPAIGN_CHUNK_ROWS,
     ) -> None:
         if max_chunk_cells <= 0:
             raise FaultModelError(
                 f"chunk cell budget must be positive, got {max_chunk_cells}"
             )
+        if chunk_rows <= 0:
+            raise FaultModelError(
+                f"chunk row count must be positive, got {chunk_rows}"
+            )
+        if matrix is None:
+            if population is None or catalog is None:
+                raise FaultModelError(
+                    "an engine without a population and catalog needs an "
+                    "explicit matrix; use from_matrix()"
+                )
+            matrix = PopulationMatrix.build(population, catalog)
         self._population = population
         self._catalog = catalog
         self._backend = backend
-        self._matrix = matrix if matrix is not None else PopulationMatrix.build(
-            population, catalog
-        )
+        self._matrix = matrix
         self._dtype = dtype
         self._topk = topk
         self._max_chunk_cells = max_chunk_cells
+        self._chunk_rows = chunk_rows
         self._last_chunk_count = 0
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: PopulationMatrix,
+        *,
+        backend: BackendLike = None,
+        dtype: str = "float64",
+        topk: str = "sort",
+        max_chunk_cells: int = DEFAULT_GRID_CHUNK_CELLS,
+        chunk_rows: int = DEFAULT_CAMPAIGN_CHUNK_ROWS,
+    ) -> "GridCampaignEngine":
+        """Grid engine over a pre-built matrix (e.g. a streamed sparse build)."""
+        return cls(
+            None,
+            None,
+            backend=backend,
+            matrix=matrix,
+            dtype=dtype,
+            topk=topk,
+            max_chunk_cells=max_chunk_cells,
+            chunk_rows=chunk_rows,
+        )
+
+    def _catalog_size(self) -> int:
+        """Vulnerability count for validation messages (catalog may be absent)."""
+        if self._catalog is not None:
+            return len(self._catalog)
+        return self._matrix.vulnerability_count
 
     @property
     def matrix(self) -> PopulationMatrix:
@@ -673,7 +958,11 @@ class GridCampaignEngine:
 
     @property
     def last_chunk_count(self) -> int:
-        """How many kernel chunks the most recent :meth:`estimate_grid` used."""
+        """How many chunks the most recent :meth:`estimate_grid` used.
+
+        Trial-range chunks on the dense path, replica-range chunks on the
+        sparse path — either way the count of kernel passes over the grid.
+        """
         return self._last_chunk_count
 
     def chunk_trials_for(self, requests: Sequence["GridPointRequest"], *, trials: int) -> int:
@@ -705,7 +994,9 @@ class GridCampaignEngine:
         active = [plan for plan in plans if plan.exploited]
         merged: Optional[Tuple[CampaignGridPointResult, ...]] = None
         self._last_chunk_count = 0
-        if active:
+        if active and self._matrix.is_sparse:
+            merged = self._estimate_grid_sparse(active, trials=trials, seed=seed)
+        elif active:
             points = tuple(
                 CampaignGridPoint(
                     tolerances=plan.tolerances,
@@ -745,6 +1036,34 @@ class GridCampaignEngine:
         return self._finalize_grid(plans, trials, merged)
 
     # -- internals ---------------------------------------------------------------
+
+    def _estimate_grid_sparse(
+        self,
+        active: Sequence["_GridPlan"],
+        *,
+        trials: int,
+        seed: int,
+    ) -> Tuple[CampaignGridPointResult, ...]:
+        """Sparse grid path: resolve points once, row-chunk the CSR exposure.
+
+        ``dtype``/``topk`` are dense fast-path knobs; the sparse path always
+        runs the exact float64 route (the kernels' documented fall-back).
+        """
+        points = _resolve_sparse_plan_points(self._matrix, active, seed)
+        resolved = get_backend(self._backend)
+        merged = _run_sparse_grid(
+            resolved,
+            self._matrix.sparse_exposure(),
+            points,
+            trials=trials,
+            trial_offset=0,
+            chunk_rows=self._chunk_rows,
+            total_power=self._matrix.total_power,
+        )
+        self._last_chunk_count = -(
+            -self._matrix.replica_count // max(1, self._chunk_rows)
+        )
+        return merged
 
     def _plan_grid(
         self,
@@ -794,7 +1113,7 @@ class GridCampaignEngine:
                         f"{where}: worst_case must be positive, got "
                         f"{request.worst_case}"
                     )
-                if len(self._catalog) == 0:
+                if self._catalog_size() == 0:
                     raise FaultModelError(
                         "the catalog is empty; nothing to exploit"
                     )
@@ -934,6 +1253,54 @@ def _grid_shard_worker(
     ]
 
 
+def _sparse_grid_shard_worker(
+    backend_name: str,
+    sparse: SparseExposure,
+    point_payloads: Tuple[Tuple[Any, ...], ...],
+    trials: int,
+    total_power: float,
+    trial_offset: int,
+    chunk_rows: int,
+) -> List[Dict[str, Any]]:
+    """Pool-worker entry: one trial-range shard of a sparse fused grid.
+
+    Each point payload is ``(columns, probabilities, tolerances, seed)`` —
+    already resolved by the parent (seed offsets folded in), so the worker
+    just rebuilds :class:`ResolvedGridPoint` structures and row-chunks its
+    trial slice exactly like the serial engine.
+    """
+    chaos_checkpoint("task", key=f"grid-shard:{trial_offset}+{trials}")
+    resolved = get_backend(backend_name)
+    points = tuple(
+        ResolvedGridPoint(
+            columns=tuple(columns),
+            probabilities=tuple(probabilities),
+            tolerances=tuple(tolerances),
+            seed=point_seed,
+        )
+        for columns, probabilities, tolerances, point_seed in point_payloads
+    )
+    batch = _run_sparse_grid(
+        resolved,
+        sparse.validate(),
+        points,
+        trials=trials,
+        trial_offset=trial_offset,
+        chunk_rows=chunk_rows,
+        total_power=total_power,
+    )
+    return [
+        {
+            "trials": point.trials,
+            "columns": list(point.columns),
+            "violations": list(point.violations),
+            "compromised_total": point.compromised_total,
+            "per_vulnerability_totals": list(point.per_vulnerability_totals),
+        }
+        for point in batch
+    ]
+
+
 class ShardedGridRun:
     """Fan a fused grid's trial range out over resilient pool workers.
 
@@ -980,10 +1347,6 @@ class ShardedGridRun:
         if not active:
             return engine._finalize_grid(plans, trials, None)
         matrix = engine.matrix
-        point_payloads = tuple(
-            (plan.columns, plan.tolerances, plan.success_probability, plan.seed_offset)
-            for plan in active
-        )
         backend_name = get_backend(engine._backend).name
         ranges = split_trial_ranges(trials, self._max_workers)
         owned = self._executor is None
@@ -997,23 +1360,51 @@ class ShardedGridRun:
             else self._executor
         )
         try:
-            futures = [
-                pool.submit(
-                    _grid_shard_worker,
-                    backend_name,
-                    matrix.exposure_rows(),
-                    matrix.powers,
-                    matrix.success_probabilities,
-                    point_payloads,
-                    count,
-                    seed,
-                    matrix.total_power,
-                    offset,
-                    engine._dtype,
-                    engine._topk,
+            if matrix.is_sparse:
+                sparse_payloads = tuple(
+                    (point.columns, point.probabilities, point.tolerances, point.seed)
+                    for point in _resolve_sparse_plan_points(matrix, active, seed)
                 )
-                for offset, count in ranges
-            ]
+                futures = [
+                    pool.submit(
+                        _sparse_grid_shard_worker,
+                        backend_name,
+                        matrix.sparse_exposure(),
+                        sparse_payloads,
+                        count,
+                        matrix.total_power,
+                        offset,
+                        engine._chunk_rows,
+                    )
+                    for offset, count in ranges
+                ]
+            else:
+                point_payloads = tuple(
+                    (
+                        plan.columns,
+                        plan.tolerances,
+                        plan.success_probability,
+                        plan.seed_offset,
+                    )
+                    for plan in active
+                )
+                futures = [
+                    pool.submit(
+                        _grid_shard_worker,
+                        backend_name,
+                        matrix.exposure_rows(),
+                        matrix.powers,
+                        matrix.success_probabilities,
+                        point_payloads,
+                        count,
+                        seed,
+                        matrix.total_power,
+                        offset,
+                        engine._dtype,
+                        engine._topk,
+                    )
+                    for offset, count in ranges
+                ]
             batches = [
                 tuple(
                     CampaignGridPointResult(

@@ -27,6 +27,10 @@ from repro.core.exceptions import FaultModelError
 from repro.core.population import ReplicaPopulation
 from repro.core.resilience import ProtocolFamily, tolerated_fault_fraction
 from repro.faults.engine import GridPointRequest
+from repro.datasets.generators import (
+    DEFAULT_REPLICA_CHUNK_SIZE,
+    stream_replica_chunks,
+)
 from repro.datasets.software_ecosystem import (
     SyntheticEcosystem,
     default_ecosystem,
@@ -34,6 +38,7 @@ from repro.datasets.software_ecosystem import (
     skewed_ecosystem,
 )
 from repro.faults.catalog import VulnerabilityCatalog
+from repro.faults.matrix import PopulationMatrix
 from repro.faults.vulnerability import Severity
 from repro.permissionless.churn import ChurnModel
 
@@ -179,6 +184,75 @@ def churned_scenarios(
             completed = target
         trajectory.append(snapshot(completed))
     return trajectory
+
+
+# -- streaming sparse scenarios ------------------------------------------------
+
+
+def ecosystem_catalog(
+    ecosystem_instance: SyntheticEcosystem,
+    *,
+    severity: Severity = Severity.HIGH,
+    exploit_probability: float = 1.0,
+) -> VulnerabilityCatalog:
+    """One vulnerability per component the ecosystem offers, market-major.
+
+    The streaming analogue of ``VulnerabilityCatalog.for_population``: the
+    catalog is fixed by the ecosystem alone, so it exists before — or
+    without — any materialized population, which is the precondition for
+    streaming a million replicas straight into a sparse matrix.
+    """
+    return VulnerabilityCatalog.one_per_component(
+        ecosystem_instance.components(),
+        severity=severity,
+        exploit_probability=exploit_probability,
+    )
+
+
+def sparse_ecosystem_matrix(
+    *,
+    ecosystem: str = "default",
+    population_size: int,
+    seed: int = 0,
+    exploit_probability: float = 1.0,
+    severity: Severity = Severity.HIGH,
+    chunk_size: int = DEFAULT_REPLICA_CHUNK_SIZE,
+) -> Tuple[PopulationMatrix, VulnerabilityCatalog]:
+    """Stream an ecosystem population straight into a sparse campaign matrix.
+
+    Replica chunks flow from
+    :func:`repro.datasets.generators.stream_replica_chunks` into
+    :meth:`~repro.faults.matrix.PopulationMatrix.from_replica_chunks`, so the
+    population is never materialized and peak memory is bounded by one chunk
+    plus the CSR arrays — the build path the ``ecosystem_scale`` experiment
+    and ``bench-population`` use at 10⁶ replicas.  At overlapping scales the
+    result is bit-identical to ``PopulationMatrix.build`` on the
+    equivalently-sampled population with the same catalog.
+    """
+    if population_size <= 0:
+        raise FaultModelError(
+            f"population size must be positive, got {population_size}"
+        )
+    if not 0.0 <= exploit_probability <= 1.0:
+        raise FaultModelError(
+            f"exploit probability must be in [0, 1], got {exploit_probability}"
+        )
+    ecosystem_instance = resolve_ecosystem(ecosystem)
+    catalog = ecosystem_catalog(
+        ecosystem_instance,
+        severity=severity,
+        exploit_probability=exploit_probability,
+    )
+    matrix = PopulationMatrix.from_replica_chunks(
+        stream_replica_chunks(
+            ecosystem_instance,
+            population_size,
+            seed=seed,
+            chunk_size=chunk_size,
+        ),
+        catalog,
+    )
+    return matrix, catalog
 
 
 # -- fused grid construction ---------------------------------------------------

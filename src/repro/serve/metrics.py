@@ -12,6 +12,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict
 
+from repro.backend.timing import peak_rss_kb
+
 
 @dataclass
 class ServiceMetrics:
@@ -51,6 +53,12 @@ class ServiceMetrics:
             result document).  Cache hits contribute nothing — the section
             measures compute actually spent, so fused-vs-looped kernel wins
             are visible to scrapers.
+        peak_build_rss_kb: the largest worker peak resident set size (KiB)
+            observed across every build this server completed — it rides
+            back on the same volatile section as the kernel counters.  The
+            snapshot pairs it with ``peak_rss_kb``, the serving process's own
+            high-water mark, so scrapers can tell build memory pressure from
+            server memory pressure at a glance.
     """
 
     started_at: float = field(default_factory=time.time)
@@ -74,6 +82,7 @@ class ServiceMetrics:
     bulk_results_served: int = 0
     cache_admin_ops: int = 0
     kernel_counters: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    peak_build_rss_kb: int = 0
     _sections: Dict[str, Callable[[], Dict[str, Any]]] = field(
         default_factory=dict, repr=False
     )
@@ -91,6 +100,10 @@ class ServiceMetrics:
             total["calls"] += int(counter.get("calls", 0))
             total["seconds"] += float(counter.get("seconds", 0.0))
             total["trials"] += int(counter.get("trials", 0))
+
+    def record_build_rss(self, peak_kb: int) -> None:
+        """Fold one build's worker peak RSS into the high-water mark."""
+        self.peak_build_rss_kb = max(self.peak_build_rss_kb, int(peak_kb))
 
     def attach_section(
         self, name: str, provider: Callable[[], Dict[str, Any]]
@@ -133,6 +146,8 @@ class ServiceMetrics:
                 kernel: dict(counter)
                 for kernel, counter in sorted(self.kernel_counters.items())
             },
+            "peak_build_rss_kb": self.peak_build_rss_kb,
+            "peak_rss_kb": peak_rss_kb(),
         }
         for name, provider in self._sections.items():
             document[name] = provider()

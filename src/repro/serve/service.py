@@ -487,9 +487,10 @@ class ResultService:
             self.metrics.in_flight_builds -= 1
         self.breaker.record_success()
         result = ExperimentResult.from_dict(document)
-        # The build ran in a pool worker; its kernel counters ride back on
-        # the volatile section of the result document.
+        # The build ran in a pool worker; its kernel counters and peak RSS
+        # ride back on the volatile section of the result document.
         self.metrics.record_kernels(dict(result.kernel_counters))
+        self.metrics.record_build_rss(result.peak_rss_kb)
         store_key = prepared.key
         if fingerprint != prepared.fingerprint:
             # A source-edit refresh landed between prepare() and the build:

@@ -1,0 +1,106 @@
+"""Tests for the sparse population benchmark harness (``bench-population``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.population_benchmark import (
+    benchmark_population,
+    write_population_snapshot,
+)
+from repro.core.exceptions import AnalysisError
+
+SMALL = dict(
+    sizes=(300, 150),
+    trials=8,
+    seed=3,
+    dense_limit=200,
+    repeats=1,
+)
+
+
+class TestBenchmarkPopulation:
+    def test_points_come_back_sorted_with_timings(self):
+        report = benchmark_population(**SMALL)
+        assert [point.size for point in report.points] == [150, 300]
+        for point in report.points:
+            assert point.nnz == point.size * 5  # one component per market
+            assert 0.0 < point.density < 1.0
+            assert point.build_seconds > 0
+            assert point.sparse_seconds > 0
+            assert point.sparse_trials_per_second > 0
+            assert point.peak_rss_kb > 0
+        assert report.vulnerabilities == 17
+        assert report.point(300).size == 300
+        with pytest.raises(AnalysisError, match="not benchmarked"):
+            report.point(999)
+
+    def test_dense_comparison_stops_at_the_limit(self):
+        report = benchmark_population(**SMALL)
+        compared = report.point(150)
+        skipped = report.point(300)
+        assert compared.identical_sparse_vs_dense is True
+        assert compared.dense_seconds > 0
+        assert compared.dense_trials_per_second > 0
+        assert skipped.identical_sparse_vs_dense is None
+        assert skipped.dense_seconds is None
+        assert report.identical_sparse_vs_dense() is True
+
+    def test_dense_limit_zero_skips_every_comparison(self):
+        report = benchmark_population(**{**SMALL, "dense_limit": 0})
+        assert all(
+            point.identical_sparse_vs_dense is None for point in report.points
+        )
+        assert report.identical_sparse_vs_dense() is None
+
+    def test_memory_ceiling_verdict(self):
+        unbounded = benchmark_population(**SMALL)
+        assert unbounded.within_memory_ceiling() is None
+        roomy = benchmark_population(**SMALL, memory_ceiling_mb=1 << 20)
+        assert roomy.within_memory_ceiling() is True
+        assert roomy.peak_rss_kb() <= roomy.memory_ceiling_kb
+        tight = benchmark_population(**SMALL, memory_ceiling_mb=1)
+        assert tight.within_memory_ceiling() is False
+
+    def test_snapshot_roundtrip(self, tmp_path):
+        report = benchmark_population(**SMALL, memory_ceiling_mb=1024)
+        path = tmp_path / "BENCH_POP.json"
+        write_population_snapshot(report, str(path))
+        document = json.loads(path.read_text())
+        assert document["benchmark"] == "sparse_population_plane"
+        assert document["workload"]["trials"] == SMALL["trials"]
+        assert document["workload"]["dense_limit"] == SMALL["dense_limit"]
+        assert set(document["results"]) == {"150", "300"}
+        assert document["results"]["150"]["identical_sparse_vs_dense"] is True
+        assert document["identical_sparse_vs_dense"] is True
+        assert document["peak_rss_kb"] == report.peak_rss_kb()
+        assert document["memory_ceiling_kb"] == 1024 * 1024
+        assert document["within_memory_ceiling"] is True
+
+    def test_snapshot_omits_the_ceiling_when_unset(self, tmp_path):
+        report = benchmark_population(**SMALL)
+        document = report.as_dict()
+        assert "memory_ceiling_kb" not in document
+        assert "within_memory_ceiling" not in document
+
+    def test_snapshot_write_failure_is_an_analysis_error(self, tmp_path):
+        report = benchmark_population(**SMALL)
+        with pytest.raises(AnalysisError, match="cannot write"):
+            write_population_snapshot(report, str(tmp_path))  # a directory
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"sizes": ()},
+            {"sizes": (0,)},
+            {"trials": 0},
+            {"repeats": 0},
+            {"dense_limit": -1},
+            {"memory_ceiling_mb": 0},
+        ],
+    )
+    def test_invalid_workload_rejected(self, overrides):
+        with pytest.raises(AnalysisError):
+            benchmark_population(**{**SMALL, **overrides})

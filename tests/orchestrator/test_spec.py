@@ -10,9 +10,9 @@ from repro.experiments.orchestrator import registry
 
 
 class TestRegistry:
-    def test_sixteen_experiments_in_paper_order(self):
+    def test_seventeen_experiments_in_paper_order(self):
         ids = registry.experiment_ids()
-        assert len(ids) == 16
+        assert len(ids) == 17
         assert ids[:5] == [
             "figure1",
             "example1",
@@ -20,11 +20,13 @@ class TestRegistry:
             "proposition2",
             "proposition3",
         ]
-        # The campaign-engine sweeps (PR 5) close the registry.
-        assert ids[-3:] == [
+        # The campaign-engine sweeps (PR 5) plus the sparse ecosystem-scale
+        # sweep (PR 9) close the registry.
+        assert ids[-4:] == [
             "campaign_budget",
             "campaign_reliability",
             "campaign_churn",
+            "ecosystem_scale",
         ]
 
     def test_get_spec_unknown_raises(self):

@@ -467,3 +467,40 @@ class TestBenchGridCommand:
     def test_bench_grid_rejects_bad_workload(self, capsys):
         assert main(["bench-grid", "--trials", "0"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestBenchPopulationCommand:
+    SMALL = [
+        "bench-population",
+        "--sizes", "200",
+        "--trials", "8",
+        "--seed", "3",
+        "--dense-limit", "200",
+    ]
+
+    def test_bench_population_prints_table_and_identity(self, capsys):
+        assert main(list(self.SMALL)) == 0
+        output = capsys.readouterr().out
+        assert "sparse population bench:" in output
+        assert "sparse trials/sec" in output
+        assert "sparse identical to dense at overlapping scales: True" in output
+        assert "peak RSS:" in output
+
+    def test_bench_population_writes_snapshot(self, tmp_path, capsys):
+        snapshot = tmp_path / "BENCH_POP_TEST.json"
+        assert main(list(self.SMALL) + ["--output", str(snapshot)]) == 0
+        capsys.readouterr()
+        document = json.loads(snapshot.read_text())
+        assert document["benchmark"] == "sparse_population_plane"
+        assert document["results"]["200"]["nnz"] == 200 * 5
+        assert document["identical_sparse_vs_dense"] is True
+        assert document["peak_rss_kb"] > 0
+
+    def test_bench_population_enforces_the_memory_ceiling(self, capsys):
+        assert main(list(self.SMALL) + ["--memory-ceiling-mb", "1"]) == 1
+        captured = capsys.readouterr()
+        assert "exceeds" in captured.err
+
+    def test_bench_population_rejects_bad_workload(self, capsys):
+        assert main(["bench-population", "--trials", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
