@@ -524,6 +524,19 @@ class ComputeBackend(abc.ABC):
         """Whether the backend can run in the current environment."""
         return True
 
+    @classmethod
+    def availability_error(cls) -> Optional[str]:
+        """Why the backend is unavailable, or ``None`` when it can run.
+
+        Backends with optional dependencies override this to surface the
+        captured import/probe error; ``repro.cli backends`` prints it so an
+        operator sees *why* a backend is missing, not just that it is.
+        Implementations must agree with :meth:`is_available`.
+        """
+        if cls.is_available():
+            return None
+        return f"backend {cls.name!r} reports itself unavailable"
+
     # -- Monte-Carlo kernel -----------------------------------------------------
 
     @abc.abstractmethod

@@ -46,8 +46,11 @@ from repro.core.exceptions import BackendError
 
 try:  # pragma: no cover - exercised indirectly via is_available()
     import numpy as _np
-except ImportError:  # pragma: no cover - depends on environment
+except ImportError as _numpy_import_error:  # pragma: no cover - env-dependent
     _np = None
+    _NUMPY_IMPORT_ERROR: Optional[str] = str(_numpy_import_error)
+else:  # pragma: no cover - the numpy-equipped environment
+    _NUMPY_IMPORT_ERROR = None
 
 #: Upper bound on the number of matrix cells (trials × configs) drawn per
 #: chunk; 2M float64 cells ≈ 16 MB for the uniform draw plus smaller masks.
@@ -103,6 +106,15 @@ class NumpyBackend(ComputeBackend):
     @classmethod
     def is_available(cls) -> bool:
         return _np is not None
+
+    @classmethod
+    def availability_error(cls) -> Optional[str]:
+        if _np is not None:
+            return None
+        return (
+            f"numpy is not importable ({_NUMPY_IMPORT_ERROR}); install it "
+            "with 'pip install repro[fast]' or use REPRO_BACKEND=python"
+        )
 
     def violation_trials(
         self,

@@ -8,7 +8,9 @@ Resolution order for :func:`get_backend`:
    (the CLI's ``--backend`` flag uses this);
 3. the ``REPRO_BACKEND`` environment variable;
 4. auto-detection: the fastest available backend (NumPy when importable,
-   otherwise the pure-Python fallback).
+   otherwise the pure-Python fallback).  The multiprocess ``shm`` backend
+   registers *behind* numpy — it is opt-in via ``REPRO_BACKEND=shm`` (or an
+   explicit name), never auto-picked.
 
 ``"auto"`` is accepted anywhere a name is and triggers step 4 explicitly.
 Backend instances are stateless and cached, so repeated calls are cheap
@@ -24,6 +26,7 @@ from typing import Dict, List, Optional, Tuple, Type, Union
 from repro.backend.base import ComputeBackend
 from repro.backend.numpy_backend import NumpyBackend
 from repro.backend.python_backend import PythonBackend
+from repro.backend.shm_backend import ShmBackend
 from repro.core.exceptions import BackendError
 
 #: Environment variable consulted when no explicit backend is requested.
@@ -33,7 +36,13 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 AUTO = "auto"
 
 #: Registered backends, in auto-detection preference order (fastest first).
-_REGISTRY: Tuple[Type[ComputeBackend], ...] = (NumpyBackend, PythonBackend)
+#: ``shm`` sits behind ``numpy`` deliberately: it is only worth its pool
+#: overhead on large campaign workloads, so it must be requested explicitly.
+_REGISTRY: Tuple[Type[ComputeBackend], ...] = (
+    NumpyBackend,
+    ShmBackend,
+    PythonBackend,
+)
 
 _instances: Dict[str, ComputeBackend] = {}
 _default_name: Optional[str] = None
@@ -50,6 +59,15 @@ def registered_backends() -> Tuple[str, ...]:
 def available_backends() -> Tuple[str, ...]:
     """Names of the backends that can run in this environment."""
     return tuple(cls.name for cls in _REGISTRY if cls.is_available())
+
+
+def availability_errors() -> Dict[str, Optional[str]]:
+    """Per-registered-backend unavailability reason (``None`` = available).
+
+    The CLI's ``backends`` command renders this so a missing backend shows
+    the captured import/probe error instead of silently dropping out.
+    """
+    return {cls.name: cls.availability_error() for cls in _REGISTRY}
 
 
 def _instantiate(name: str) -> ComputeBackend:

@@ -1,0 +1,1007 @@
+"""Shared-memory multiprocess compute backend.
+
+The ``shm`` backend runs the four hot campaign kernels —
+:meth:`campaign_trials`, :meth:`campaign_grid`,
+:meth:`sparse_campaign_trials`, :meth:`sparse_campaign_grid` — by splitting
+the trial range across a persistent pool of worker processes.  The
+counter-based splitmix64 stream makes trial partitions bit-identical to a
+serial run by construction (the same seam ``ShardedCampaignRun`` and
+``ShardedGridRun`` already exploit), so fan-out is pure engineering:
+
+- **Build once, map everywhere.**  The exposure/powers arrays (and the CSR
+  buffers on the sparse path) are copied into
+  :mod:`multiprocessing.shared_memory` segments the first time they are
+  seen; workers attach read-only NumPy views by segment name.  No per-call
+  pickling of the population — a dispatch ships only the segment names and
+  a handful of scalars.
+- **Existing merge seams.**  Worker partials merge through
+  ``merge_campaign_batches`` / ``merge_campaign_grid_batches`` (dense) and
+  per-trial concatenation in offset order (sparse), the exact associations
+  the sharding test-suite already pins bit-identical to the serial kernels.
+- **Inner NumPy delegation.**  Every non-hot primitive
+  (:meth:`violation_trials`, :meth:`masked_power_sums`,
+  :meth:`shannon_entropy`, array construction, …) delegates to an inner
+  :class:`~repro.backend.numpy_backend.NumpyBackend`, and the workers run
+  the NumPy kernels too — the shm backend is a scheduler, not a new
+  numerics implementation, which is what keeps it byte-identical to numpy.
+
+On top of the fan-out, the sparse path applies **exact column pruning**:
+when the resolved grid points select only a subset of the vulnerability
+columns (the top-k budget sweeps), the CSR structure is rebuilt — with
+vectorized NumPy ops, never the scalar ``select_columns`` loop — to keep
+only the selected columns' cells.  The campaign uniform for a sparse cell
+is indexed by ``(trial, global row, position in point.columns)``; none of
+those change under pruning, so the pruned kernel draws the identical stream
+over the identical cells and the output stays bit-identical, while the
+per-trial work drops from O(nnz) to O(nnz restricted to selected columns).
+The per-chunk kept-cell presummary also powers an exact chunk skip: a row
+chunk with zero selected-column cells contributes exactly-zero partials
+without touching a kernel.
+
+Selection: the backend registers *behind* numpy in auto-detection order, so
+it is opt-in via ``REPRO_BACKEND=shm`` (or ``--backend shm``).  Environment
+knobs:
+
+- ``REPRO_SHM_WORKERS`` — worker-process count (default
+  ``min(4, cpu_count)``); changing it recycles the pool on the next call.
+- ``REPRO_SHM_PRUNE`` — set to ``0``/``false`` to disable column pruning
+  (the benchmark uses this to assert pruned == unpruned exactly).
+- ``REPRO_SHM_INLINE_CELLS`` — workloads below this many trial-cells run
+  inline on the inner NumPy backend instead of paying a pool round-trip
+  (default ``65536``; tests set ``0`` to force the pool path everywhere).
+
+Fork safety: the pool is only ever built in the top-level process.  Inside
+a multiprocessing child (an engine shard, an orchestrator worker) dispatch
+degrades to the inline NumPy path — nested pools would oversubscribe the
+host, and pool workers exit via ``os._exit`` without running ``atexit``,
+which would orphan a nested pool's processes into the exit join.  A child
+that inherited this instance through ``fork`` also drops the parent's pool
+handle and segment cache on first use (they are corpses there); the parent
+keeps sole ownership of the published segments.
+
+Per-kernel dispatch timings are recorded into
+:data:`repro.backend.timing.KERNEL_TIMINGS` under ``shm_campaign_trials``,
+``shm_campaign_grid`` and ``shm_sparse_partials``, so the serve layer's
+``/metrics`` endpoint exposes the multiprocess path in production.
+"""
+
+from __future__ import annotations
+
+import array as _stdlib_array
+import atexit
+import importlib
+import multiprocessing
+import os
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised indirectly via availability_error()
+    import numpy as _np
+except ImportError:  # pragma: no cover - the numpy-less environment
+    _np = None
+
+try:  # pragma: no cover - stdlib, but gate anyway for exotic builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+try:  # pragma: no cover - present wherever shared_memory is
+    from multiprocessing import resource_tracker as _resource_tracker
+except ImportError:  # pragma: no cover
+    _resource_tracker = None
+
+from repro.backend.base import (
+    CampaignBatchResult,
+    CampaignGridPoint,
+    CampaignGridPointResult,
+    ComputeBackend,
+    ResolvedGridPoint,
+    SparseExposure,
+    SparseGridPartial,
+    TrialBatchResult,
+    validate_campaign_arguments,
+    validate_grid_arguments,
+    validate_sparse_partial_arguments,
+)
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.timing import timed_kernel
+from repro.core.exceptions import BackendError
+
+#: Environment variable selecting the worker-process count.
+WORKERS_ENV_VAR = "REPRO_SHM_WORKERS"
+
+#: Environment variable toggling exact sparse column pruning (default on).
+PRUNE_ENV_VAR = "REPRO_SHM_PRUNE"
+
+#: Environment variable overriding the inline-dispatch threshold.
+INLINE_ENV_VAR = "REPRO_SHM_INLINE_CELLS"
+
+#: Below this many trial-cells a kernel call runs inline on the inner
+#: NumPy backend — a pool round-trip costs more than the arithmetic.
+DEFAULT_INLINE_CELL_LIMIT = 1 << 16
+
+_FALSE_VALUES = frozenset({"0", "false", "off", "no"})
+
+#: Parent-side cap on pinned shared-memory publications (LRU evicted).
+_PUBLISH_CAPACITY = 16
+
+#: Worker-side cap on attached segment views (LRU evicted).
+_ATTACH_CAPACITY = 16
+
+#: Cap on cached per-structure exposed-power presummaries.
+_PRESUMMARY_CAPACITY = 8
+
+
+# -- worker-process side -------------------------------------------------------
+#
+# Everything below runs inside pool workers.  Workers never call
+# ``get_backend`` (which would resolve REPRO_BACKEND=shm right back to this
+# module); they hold their own NumpyBackend and a by-name cache of attached
+# shared-memory views.
+
+_WORKER_BACKEND: Optional[NumpyBackend] = None
+_WORKER_SEGMENTS: "OrderedDict[str, Tuple[object, object]]" = OrderedDict()
+
+#: Whether attaching a segment must be unregistered from this process's
+#: resource tracker.  True only for spawn-style pools, where each worker
+#: runs its *own* tracker that would otherwise unlink the parent's segment
+#: when the worker exits (the Python <= 3.12 register-on-attach behavior).
+#: Fork-style pools share the parent's tracker, so the registrations
+#: dedupe in one set and a worker-side unregister would instead *steal*
+#: the parent's own registration.
+_UNREGISTER_ON_ATTACH = False
+
+
+def _worker_init(unregister_on_attach: bool) -> None:
+    global _UNREGISTER_ON_ATTACH
+    _UNREGISTER_ON_ATTACH = unregister_on_attach
+
+#: (segment name, dtype string, shape tuple) — all a worker needs to map one
+#: published array.
+SegmentRef = Tuple[str, str, Tuple[int, ...]]
+
+
+def _worker_numpy() -> NumpyBackend:
+    global _WORKER_BACKEND
+    if _WORKER_BACKEND is None:
+        _WORKER_BACKEND = NumpyBackend()
+    return _WORKER_BACKEND
+
+
+def _attach_view(ref: SegmentRef):
+    """Attach (or reuse) the read-only NumPy view of a published segment."""
+    name, dtype, shape = ref
+    cached = _WORKER_SEGMENTS.get(name)
+    if cached is not None:
+        _WORKER_SEGMENTS.move_to_end(name)
+        return cached[1]
+    segment = _shared_memory.SharedMemory(name=name)
+    if _UNREGISTER_ON_ATTACH and _resource_tracker is not None:
+        try:
+            _resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+    view = _np.ndarray(shape, dtype=_np.dtype(dtype), buffer=segment.buf)
+    view.flags.writeable = False
+    _WORKER_SEGMENTS[name] = (segment, view)
+    while len(_WORKER_SEGMENTS) > _ATTACH_CAPACITY:
+        _, (old_segment, old_view) = _WORKER_SEGMENTS.popitem(last=False)
+        del old_view
+        try:
+            old_segment.close()
+        except BufferError:  # pragma: no cover - a live export pins the map
+            pass
+    return view
+
+
+def _worker_campaign_trials(
+    exposure_ref: SegmentRef,
+    powers_ref: SegmentRef,
+    probabilities: Tuple[float, ...],
+    trials: int,
+    seed: int,
+    tolerance: float,
+    total_power: float,
+    trial_offset: int,
+) -> Tuple[int, int, float, Tuple[float, ...]]:
+    """One trial range of :meth:`campaign_trials`, as plain tuples."""
+    batch = _worker_numpy().campaign_trials(
+        _attach_view(exposure_ref),
+        _attach_view(powers_ref),
+        probabilities,
+        trials=trials,
+        seed=seed,
+        tolerance=tolerance,
+        total_power=total_power,
+        trial_offset=trial_offset,
+    )
+    return (
+        batch.trials,
+        batch.violations,
+        batch.compromised_total,
+        batch.per_vulnerability_totals,
+    )
+
+
+def _worker_campaign_grid(
+    exposure_ref: SegmentRef,
+    powers_ref: SegmentRef,
+    probabilities: Tuple[float, ...],
+    points: Tuple[CampaignGridPoint, ...],
+    trials: int,
+    seed: int,
+    total_power: float,
+    trial_offset: int,
+    dtype: str,
+    topk: str,
+):
+    """One trial range of :meth:`campaign_grid`, as plain tuples per point.
+
+    Every worker resolves the grid points itself (top-k over the shared
+    exposure is a single small matmul), so point resolution never has to
+    cross the process boundary and each range selects identical columns.
+    """
+    results = _worker_numpy().campaign_grid(
+        _attach_view(exposure_ref),
+        _attach_view(powers_ref),
+        probabilities,
+        points,
+        trials=trials,
+        seed=seed,
+        total_power=total_power,
+        trial_offset=trial_offset,
+        dtype=dtype,
+        topk=topk,
+    )
+    return tuple(
+        (
+            result.trials,
+            result.columns,
+            result.violations,
+            result.compromised_total,
+            result.per_vulnerability_totals,
+        )
+        for result in results
+    )
+
+
+def _worker_sparse_partials(
+    indptr_ref: SegmentRef,
+    indices_ref: SegmentRef,
+    powers_ref: SegmentRef,
+    probabilities: Tuple[float, ...],
+    disclosed: Tuple[float, ...],
+    points: Tuple[ResolvedGridPoint, ...],
+    trials: int,
+    trial_offset: int,
+    row_offset: int,
+    total_rows: int,
+):
+    """One trial range of :meth:`sparse_grid_partials`, as plain tuples.
+
+    The CSR structure is rebuilt from shared views with the validation flag
+    pre-set: the parent already validated the structure once, and the
+    O(nnz) scalar re-validation would dwarf the kernel at 10⁷ replicas.
+    """
+    sparse = SparseExposure(
+        indptr=_attach_view(indptr_ref),
+        indices=_attach_view(indices_ref),
+        powers=_attach_view(powers_ref),
+        success_probabilities=probabilities,
+        disclosed_at=disclosed,
+    )
+    object.__setattr__(sparse, "_validated", True)
+    partials = _worker_numpy().sparse_grid_partials(
+        sparse,
+        points,
+        trials=trials,
+        trial_offset=trial_offset,
+        row_offset=row_offset,
+        total_rows=total_rows,
+    )
+    return tuple(
+        (partial.per_trial_compromised, partial.per_vulnerability_totals)
+        for partial in partials
+    )
+
+
+# -- parent-process side -------------------------------------------------------
+
+
+def _as_ndarray(values, dtype: str):
+    """``values`` as a C-contiguous ndarray of ``dtype`` (zero-copy when it is)."""
+    if isinstance(values, _np.ndarray):
+        array = values
+    elif isinstance(values, _stdlib_array.array):
+        array = _np.frombuffer(values, dtype=values.typecode)
+    else:
+        array = _np.asarray(values)
+    return _np.ascontiguousarray(array, dtype=_np.dtype(dtype))
+
+
+class _SharedSegment:
+    """Parent-side handle for one array's shared-memory publication."""
+
+    __slots__ = ("segment", "dtype", "shape")
+
+    def __init__(self, segment, dtype: str, shape: Tuple[int, ...]) -> None:
+        self.segment = segment
+        self.dtype = dtype
+        self.shape = shape
+
+    def ref(self) -> SegmentRef:
+        return (self.segment.name, self.dtype, self.shape)
+
+    def release(self) -> None:
+        try:
+            self.segment.close()
+        except BufferError:  # pragma: no cover - a live export pins the map
+            return
+        try:
+            self.segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class ShmBackend(ComputeBackend):
+    """Multiprocess kernels over shared-memory array views.
+
+    Bit-identical to :class:`NumpyBackend` on every kernel (the workers run
+    the NumPy kernels on trial sub-ranges whose merge associations the
+    sharding suite already pins); opt-in via ``REPRO_BACKEND=shm``.
+    """
+
+    name = "shm"
+
+    _availability_checked = False
+    _availability_reason: Optional[str] = None
+
+    def __init__(self) -> None:
+        reason = type(self).availability_error()
+        if reason is not None:
+            raise BackendError(f"shm backend unavailable: {reason}")
+        self._inner = NumpyBackend()
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+        # id-keyed, strong-ref LRUs: holding the source object pins its id,
+        # so a cache hit can never alias a recycled address.
+        self._published: "OrderedDict[int, Tuple[object, _SharedSegment]]" = (
+            OrderedDict()
+        )
+        self._presummaries: "OrderedDict[int, Tuple[object, Tuple[float, ...]]]" = (
+            OrderedDict()
+        )
+        atexit.register(self.close)
+
+    # -- availability ----------------------------------------------------------
+
+    @classmethod
+    def availability_error(cls) -> Optional[str]:
+        if not cls._availability_checked:
+            cls._availability_reason = cls._probe()
+            cls._availability_checked = True
+        return cls._availability_reason
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return cls.availability_error() is None
+
+    @staticmethod
+    def _probe() -> Optional[str]:
+        if _np is None:
+            return (
+                "numpy is not importable (the shm workers run the NumPy "
+                "kernels; install numpy or use REPRO_BACKEND=python)"
+            )
+        if _shared_memory is None:  # pragma: no cover - exotic builds only
+            return "multiprocessing.shared_memory is not importable"
+        try:
+            # Platforms without POSIX semaphores (multiprocessing's
+            # synchronize module) cannot host the worker pool at all.
+            importlib.import_module("multiprocessing.synchronize")
+        except ImportError as error:  # pragma: no cover - platform-specific
+            return f"multiprocessing synchronization is unavailable: {error}"
+        try:
+            probe = _shared_memory.SharedMemory(create=True, size=16)
+        except (OSError, ValueError) as error:
+            return f"cannot create a shared-memory segment: {error}"
+        try:
+            probe.close()
+            probe.unlink()
+        except OSError:  # pragma: no cover - probe cleanup best-effort
+            pass
+        return None
+
+    # -- configuration ---------------------------------------------------------
+
+    def _worker_count(self) -> int:
+        raw = os.environ.get(WORKERS_ENV_VAR)
+        if raw is None or not raw.strip():
+            return max(1, min(4, os.cpu_count() or 1))
+        try:
+            value = int(raw)
+        except ValueError:
+            raise BackendError(
+                f"{WORKERS_ENV_VAR} must be a positive integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise BackendError(
+                f"{WORKERS_ENV_VAR} must be a positive integer, got {raw!r}"
+            )
+        return value
+
+    @staticmethod
+    def _prune_enabled() -> bool:
+        raw = os.environ.get(PRUNE_ENV_VAR)
+        if raw is None:
+            return True
+        return raw.strip().lower() not in _FALSE_VALUES
+
+    @staticmethod
+    def _inline_cell_limit() -> int:
+        raw = os.environ.get(INLINE_ENV_VAR)
+        if raw is None or not raw.strip():
+            return DEFAULT_INLINE_CELL_LIMIT
+        try:
+            value = int(raw)
+        except ValueError:
+            raise BackendError(
+                f"{INLINE_ENV_VAR} must be a non-negative integer, got {raw!r}"
+            ) from None
+        if value < 0:
+            raise BackendError(
+                f"{INLINE_ENV_VAR} must be a non-negative integer, got {raw!r}"
+            )
+        return value
+
+    def _dispatch_workers(self, cells: int) -> int:
+        """Pool size for a workload of ``cells`` trial-cells (1 = inline).
+
+        Any multiprocessing child (an engine shard, an orchestrator
+        ``--parallel`` worker, a daemonic pool member) degrades to inline.
+        Nested pools would oversubscribe the host for no speedup — the
+        outer fan-out already owns the cores — and a ``ProcessPoolExecutor``
+        worker exits through ``os._exit``, which skips ``atexit``: a nested
+        pool built there is never shut down, so the worker's exit handler
+        (``multiprocessing.util._exit_function``) joins the orphaned
+        grandchildren forever and the outer run deadlocks.  Inline dispatch
+        runs the exact inner NumPy kernels, so only the fan-out strategy
+        changes, never the bytes.
+        """
+        workers = self._worker_count()
+        if workers <= 1 or cells < self._inline_cell_limit():
+            return 1
+        current = multiprocessing.current_process()
+        if multiprocessing.parent_process() is not None or current.daemon:
+            return 1
+        return workers
+
+    # -- pool and publication management ---------------------------------------
+
+    def _reset_after_fork_locked(self) -> None:
+        """Drop state inherited through ``fork`` — it is not ours.
+
+        The selection cache is process-global, so a forked worker (an engine
+        shard, an orchestrator ``--parallel`` child) inherits this very
+        instance.  Its pool object is a corpse there — the executor's feeder
+        thread died in the fork, so a submit would hang forever — and its
+        published segments belong to the parent, which may unlink them at
+        any time.  First use in a new process discards both; the child
+        rebuilds its own pool and publications on demand.
+        """
+        if self._pid == os.getpid():
+            return
+        self._pool = None
+        self._pool_workers = 0
+        self._published.clear()
+        self._presummaries.clear()
+        self._pid = os.getpid()
+
+    def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
+        with self._lock:
+            self._reset_after_fork_locked()
+            if self._pool is not None and self._pool_workers != workers:
+                stale, self._pool = self._pool, None
+            else:
+                stale = None
+        if stale is not None:
+            # Shut the stale pool down outside the lock; REPRO_SHM_WORKERS
+            # changed and the next call deserves the requested width.
+            stale.shutdown(wait=True)
+        with self._lock:
+            if self._pool is None:
+                # Prefer fork: workers inherit the attached segments' fds
+                # cheaply and share the parent's resource tracker (see
+                # _worker_init for the unregister-on-attach asymmetry).
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=context,
+                    initializer=_worker_init,
+                    initargs=(context.get_start_method() != "fork",),
+                )
+                self._pool_workers = workers
+            return self._pool
+
+    def _discard_pool(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._pool_workers = 0
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _publish(self, values, dtype: str) -> SegmentRef:
+        """Pin ``values`` into shared memory once; return the worker ref."""
+        key = id(values)
+        with self._lock:
+            self._reset_after_fork_locked()
+            entry = self._published.get(key)
+            if entry is not None and entry[0] is values and entry[1].dtype == dtype:
+                self._published.move_to_end(key)
+                return entry[1].ref()
+        source = _as_ndarray(values, dtype)
+        segment = _shared_memory.SharedMemory(
+            create=True, size=max(1, source.nbytes)
+        )
+        staged = _np.ndarray(source.shape, dtype=source.dtype, buffer=segment.buf)
+        staged[...] = source
+        del staged  # drop the buffer export so release() can close the map
+        handle = _SharedSegment(segment, dtype, tuple(source.shape))
+        evicted: List[_SharedSegment] = []
+        with self._lock:
+            self._published[key] = (values, handle)
+            while len(self._published) > _PUBLISH_CAPACITY:
+                _, (_, old_handle) = self._published.popitem(last=False)
+                evicted.append(old_handle)
+        for old_handle in evicted:
+            old_handle.release()
+        return handle.ref()
+
+    def close(self) -> None:
+        """Shut the worker pool down and unlink every published segment."""
+        with self._lock:
+            self._reset_after_fork_locked()
+            pool, self._pool = self._pool, None
+            self._pool_workers = 0
+            published = [handle for _, handle in self._published.values()]
+            self._published.clear()
+            self._presummaries.clear()
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        for handle in published:
+            handle.release()
+
+    # -- delegated primitives --------------------------------------------------
+
+    def violation_trials(
+        self,
+        shares: Sequence[float],
+        *,
+        vulnerability_probability: float,
+        exploit_budget: int,
+        trials: int,
+        seed: int,
+        tolerance: float,
+    ) -> TrialBatchResult:
+        return self._inner.violation_trials(
+            shares,
+            vulnerability_probability=vulnerability_probability,
+            exploit_budget=exploit_budget,
+            trials=trials,
+            seed=seed,
+            tolerance=tolerance,
+        )
+
+    def masked_power_sums(
+        self,
+        exposure: Sequence[Sequence[float]],
+        powers: Sequence[float],
+    ) -> Tuple[float, ...]:
+        return self._inner.masked_power_sums(exposure, powers)
+
+    def shannon_entropy(
+        self, probabilities: Sequence[float], *, base: float = 2.0
+    ) -> float:
+        return self._inner.shannon_entropy(probabilities, base=base)
+
+    def asarray(self, values: Sequence[float]) -> Sequence[float]:
+        return self._inner.asarray(values)
+
+    def asarray_matrix(
+        self, rows: Sequence[Sequence[float]]
+    ) -> Sequence[Sequence[float]]:
+        return self._inner.asarray_matrix(rows)
+
+    def sparse_masked_power_sums(self, sparse: SparseExposure) -> Tuple[float, ...]:
+        """Exposed-power presummary, cached per CSR structure.
+
+        The budget top-k resolution consults this once per structure; the
+        cached tuple is the NumPy reduction verbatim, so the resolved
+        columns — and the pruning derived from them — match the plain NumPy
+        backend exactly.
+        """
+        key = id(sparse)
+        with self._lock:
+            entry = self._presummaries.get(key)
+            if entry is not None and entry[0] is sparse:
+                self._presummaries.move_to_end(key)
+                return entry[1]
+        sums = self._inner.sparse_masked_power_sums(sparse)
+        with self._lock:
+            self._presummaries[key] = (sparse, sums)
+            while len(self._presummaries) > _PRESUMMARY_CAPACITY:
+                self._presummaries.popitem(last=False)
+        return sums
+
+    # -- hot kernels -----------------------------------------------------------
+
+    def campaign_trials(
+        self,
+        exposure: Sequence[Sequence[float]],
+        powers: Sequence[float],
+        success_probabilities: Sequence[float],
+        *,
+        trials: int,
+        seed: int,
+        tolerance: float,
+        total_power: float,
+        trial_offset: int = 0,
+    ) -> CampaignBatchResult:
+        validate_campaign_arguments(
+            exposure,
+            powers,
+            success_probabilities,
+            trials=trials,
+            tolerance=tolerance,
+            total_power=total_power,
+            trial_offset=trial_offset,
+        )
+        workers = self._dispatch_workers(
+            trials * len(powers) * len(success_probabilities)
+        )
+        with timed_kernel("shm_campaign_trials", trials=trials):
+            if workers <= 1:
+                return self._inner.campaign_trials(
+                    exposure,
+                    powers,
+                    success_probabilities,
+                    trials=trials,
+                    seed=seed,
+                    tolerance=tolerance,
+                    total_power=total_power,
+                    trial_offset=trial_offset,
+                )
+            from repro.faults.engine import (
+                merge_campaign_batches,
+                split_trial_ranges,
+            )
+
+            ranges = split_trial_ranges(trials, workers)
+            exposure_ref = self._publish(exposure, "float64")
+            powers_ref = self._publish(powers, "float64")
+            probabilities = tuple(float(p) for p in success_probabilities)
+            pool = self._ensure_pool(workers)
+            try:
+                futures = [
+                    pool.submit(
+                        _worker_campaign_trials,
+                        exposure_ref,
+                        powers_ref,
+                        probabilities,
+                        count,
+                        seed,
+                        tolerance,
+                        total_power,
+                        trial_offset + offset,
+                    )
+                    for offset, count in ranges
+                ]
+                payloads = [future.result() for future in futures]
+            except BrokenProcessPool:  # pragma: no cover - crashed workers
+                self._discard_pool()
+                return self._inner.campaign_trials(
+                    exposure,
+                    powers,
+                    success_probabilities,
+                    trials=trials,
+                    seed=seed,
+                    tolerance=tolerance,
+                    total_power=total_power,
+                    trial_offset=trial_offset,
+                )
+            batches = [
+                CampaignBatchResult(
+                    trials=payload[0],
+                    violations=payload[1],
+                    compromised_total=payload[2],
+                    per_vulnerability_totals=tuple(payload[3]),
+                )
+                for payload in payloads
+            ]
+            return merge_campaign_batches(batches)
+
+    def campaign_grid(
+        self,
+        exposure: Sequence[Sequence[float]],
+        powers: Sequence[float],
+        success_probabilities: Sequence[float],
+        points: Sequence[CampaignGridPoint],
+        *,
+        trials: int,
+        seed: int,
+        total_power: float,
+        trial_offset: int = 0,
+        dtype: str = "float64",
+        topk: str = "sort",
+    ) -> Tuple[CampaignGridPointResult, ...]:
+        validate_grid_arguments(
+            exposure,
+            powers,
+            success_probabilities,
+            points,
+            trials=trials,
+            total_power=total_power,
+            trial_offset=trial_offset,
+            dtype=dtype,
+            topk=topk,
+        )
+        workers = self._dispatch_workers(
+            trials
+            * len(powers)
+            * len(success_probabilities)
+            * max(1, len(points))
+        )
+        with timed_kernel("shm_campaign_grid", trials=trials * len(points)):
+            if workers <= 1:
+                return self._inner.campaign_grid(
+                    exposure,
+                    powers,
+                    success_probabilities,
+                    points,
+                    trials=trials,
+                    seed=seed,
+                    total_power=total_power,
+                    trial_offset=trial_offset,
+                    dtype=dtype,
+                    topk=topk,
+                )
+            from repro.faults.engine import (
+                merge_campaign_grid_batches,
+                split_trial_ranges,
+            )
+
+            ranges = split_trial_ranges(trials, workers)
+            exposure_ref = self._publish(exposure, "float64")
+            powers_ref = self._publish(powers, "float64")
+            probabilities = tuple(float(p) for p in success_probabilities)
+            staged_points = tuple(points)
+            pool = self._ensure_pool(workers)
+            try:
+                futures = [
+                    pool.submit(
+                        _worker_campaign_grid,
+                        exposure_ref,
+                        powers_ref,
+                        probabilities,
+                        staged_points,
+                        count,
+                        seed,
+                        total_power,
+                        trial_offset + offset,
+                        dtype,
+                        topk,
+                    )
+                    for offset, count in ranges
+                ]
+                payloads = [future.result() for future in futures]
+            except BrokenProcessPool:  # pragma: no cover - crashed workers
+                self._discard_pool()
+                return self._inner.campaign_grid(
+                    exposure,
+                    powers,
+                    success_probabilities,
+                    points,
+                    trials=trials,
+                    seed=seed,
+                    total_power=total_power,
+                    trial_offset=trial_offset,
+                    dtype=dtype,
+                    topk=topk,
+                )
+            batches = [
+                tuple(
+                    CampaignGridPointResult(
+                        trials=point[0],
+                        columns=tuple(point[1]),
+                        violations=tuple(point[2]),
+                        compromised_total=point[3],
+                        per_vulnerability_totals=tuple(point[4]),
+                    )
+                    for point in payload
+                )
+                for payload in payloads
+            ]
+            return merge_campaign_grid_batches(batches)
+
+    def sparse_grid_partials(
+        self,
+        sparse: SparseExposure,
+        points: Sequence[ResolvedGridPoint],
+        *,
+        trials: int,
+        trial_offset: int = 0,
+        row_offset: int = 0,
+        total_rows: Optional[int] = None,
+    ) -> Tuple[SparseGridPartial, ...]:
+        total = validate_sparse_partial_arguments(
+            sparse,
+            points,
+            trials=trials,
+            trial_offset=trial_offset,
+            row_offset=row_offset,
+            total_rows=total_rows,
+        )
+        staged_points = tuple(points)
+        work_sparse, work_points = self._pruned_workload(sparse, staged_points)
+        with timed_kernel(
+            "shm_sparse_partials", trials=trials * max(1, len(staged_points))
+        ):
+            if work_sparse.nnz == 0:
+                # Exact chunk skip: with no selected-column cells in this row
+                # range, every trial compromises nothing here — the kernels
+                # would return these exact zeros after an O(nnz) scan.
+                return tuple(
+                    SparseGridPartial(
+                        per_trial_compromised=(0.0,) * trials,
+                        per_vulnerability_totals=(0.0,) * len(point.columns),
+                    )
+                    for point in staged_points
+                )
+            workers = self._dispatch_workers(trials * work_sparse.nnz)
+            if workers <= 1:
+                return self._inner.sparse_grid_partials(
+                    work_sparse,
+                    work_points,
+                    trials=trials,
+                    trial_offset=trial_offset,
+                    row_offset=row_offset,
+                    total_rows=total,
+                )
+            from repro.faults.engine import split_trial_ranges
+
+            ranges = split_trial_ranges(trials, workers)
+            indptr_ref = self._publish(work_sparse.indptr, "int64")
+            indices_ref = self._publish(work_sparse.indices, "int64")
+            powers_ref = self._publish(work_sparse.powers, "float64")
+            probabilities = tuple(
+                float(p) for p in work_sparse.success_probabilities
+            )
+            disclosed = tuple(float(t) for t in work_sparse.disclosed_at)
+            pool = self._ensure_pool(workers)
+            try:
+                futures = [
+                    pool.submit(
+                        _worker_sparse_partials,
+                        indptr_ref,
+                        indices_ref,
+                        powers_ref,
+                        probabilities,
+                        disclosed,
+                        work_points,
+                        count,
+                        trial_offset + offset,
+                        row_offset,
+                        total,
+                    )
+                    for offset, count in ranges
+                ]
+                payloads = [future.result() for future in futures]
+            except BrokenProcessPool:  # pragma: no cover - crashed workers
+                self._discard_pool()
+                return self._inner.sparse_grid_partials(
+                    work_sparse,
+                    work_points,
+                    trials=trials,
+                    trial_offset=trial_offset,
+                    row_offset=row_offset,
+                    total_rows=total,
+                )
+            return self._merge_sparse_ranges(staged_points, payloads)
+
+    @staticmethod
+    def _merge_sparse_ranges(
+        points: Tuple[ResolvedGridPoint, ...],
+        payloads: Sequence[Sequence[Tuple[Tuple[float, ...], Tuple[float, ...]]]],
+    ) -> Tuple[SparseGridPartial, ...]:
+        """Merge trial-range partials back into full-range partials.
+
+        ``per_trial_compromised`` concatenates in offset order (each trial's
+        value comes from exactly one range — exact); the per-column totals
+        sum in offset order, the association the serial kernel's own trial
+        batching uses (dyadic-power caveat, like every existing merge seam).
+        """
+        merged = []
+        for position, point in enumerate(points):
+            per_trial: List[float] = []
+            per_vulnerability = [0.0] * len(point.columns)
+            for payload in payloads:
+                range_trials, range_totals = payload[position]
+                per_trial.extend(range_trials)
+                for column, value in enumerate(range_totals):
+                    per_vulnerability[column] += value
+            merged.append(
+                SparseGridPartial(
+                    per_trial_compromised=tuple(per_trial),
+                    per_vulnerability_totals=tuple(per_vulnerability),
+                )
+            )
+        return tuple(merged)
+
+    # -- exact column pruning --------------------------------------------------
+
+    def _pruned_workload(
+        self,
+        sparse: SparseExposure,
+        points: Tuple[ResolvedGridPoint, ...],
+    ) -> Tuple[SparseExposure, Tuple[ResolvedGridPoint, ...]]:
+        """Drop CSR cells in columns no grid point selects — exactly.
+
+        The campaign uniform for a sparse cell is indexed by the trial, the
+        *global* row and the cell's position within ``point.columns``; the
+        CSR column numbering never enters the stream.  Rebuilding the
+        structure over the selected-column union (ascending, so within-row
+        order is preserved) and renumbering each point's columns to union
+        positions therefore draws the identical uniforms over the identical
+        cells — output is bit-identical while every unselected column's
+        cells vanish from the per-trial scan.  Disabled via REPRO_SHM_PRUNE=0.
+        """
+        if not points or not self._prune_enabled():
+            return sparse, points
+        column_count = sparse.column_count
+        union = sorted({column for point in points for column in point.columns})
+        if len(union) >= column_count:
+            return sparse, points
+        indptr = _as_ndarray(sparse.indptr, "int64")
+        indices = _as_ndarray(sparse.indices, "int64")
+        lut = _np.full(column_count, -1, dtype=_np.int64)
+        lut[_np.asarray(union, dtype=_np.int64)] = _np.arange(
+            len(union), dtype=_np.int64
+        )
+        local = lut[indices]
+        keep = local >= 0
+        # The kept-cell presummary: prefix[i] = kept cells before position i,
+        # so gathering it at the original indptr *is* the pruned indptr.
+        prefix = _np.zeros(len(indices) + 1, dtype=_np.int64)
+        _np.cumsum(keep, dtype=_np.int64, out=prefix[1:])
+        new_indptr = prefix[indptr]
+        new_indices = local[keep]
+        pruned = SparseExposure(
+            indptr=new_indptr,
+            indices=new_indices,
+            powers=sparse.powers,
+            success_probabilities=tuple(
+                float(sparse.success_probabilities[column]) for column in union
+            ),
+            disclosed_at=tuple(
+                float(sparse.disclosed_at[column]) for column in union
+            ),
+        )
+        object.__setattr__(pruned, "_validated", True)
+        remapped = tuple(
+            ResolvedGridPoint(
+                columns=tuple(int(lut[column]) for column in point.columns),
+                probabilities=point.probabilities,
+                tolerances=point.tolerances,
+                seed=point.seed,
+            )
+            for point in points
+        )
+        return pruned, remapped

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Nine subcommands cover the common workflows without writing Python:
+Twelve subcommands cover the common workflows without writing Python:
 
 - ``list``     — show the available experiments (one per paper artifact);
 - ``run``      — run experiments through the orchestrator: name/tag
@@ -23,7 +23,9 @@ Nine subcommands cover the common workflows without writing Python:
   as ``name=power`` pairs (e.g. mining-pool shares), reporting the Shannon
   entropy, the full diversity profile and which protocol tolerances a single
   shared fault in the largest configuration would break;
-- ``backends`` — show the registered compute backends and which one is active;
+- ``backends`` — show the registered compute backends, which one is active,
+  and — for any backend that cannot run here — the captured import/probe
+  error explaining why;
 - ``bench``    — time the Monte-Carlo estimator on every available backend and
   optionally write a JSON perf snapshot (the CI ``BENCH_1.json`` artifact);
 - ``bench-campaign`` — time the batched campaign engine (scalar python loop
@@ -33,7 +35,16 @@ Nine subcommands cover the common workflows without writing Python:
 - ``bench-grid`` — time the fused grid campaign engine (one kernel call for
   a whole budgets × reliabilities sweep) against the looped per-point path
   and the scalar python loop, asserting fused/looped bit-identity, and
-  optionally write the ``BENCH_8.json`` snapshot.
+  optionally write the ``BENCH_8.json`` snapshot;
+- ``bench-population`` — time the streaming sparse population plane across
+  replica scales with a dense bit-identity check and an optional peak-RSS
+  ceiling (the CI ``BENCH_9.json`` artifact);
+- ``bench-backends`` — race python vs numpy vs the multiprocess ``shm``
+  backend across worker counts on the campaign workload (all identical by
+  contract), then run the column-pruned sparse campaign at sweep scale
+  with pruned == unpruned asserted exactly; optionally gate a minimum
+  shm-over-numpy speedup and a peak-RSS ceiling and write the
+  ``BENCH_10.json`` snapshot.
 
 Every subcommand honors the global ``--backend`` flag (and the
 ``REPRO_BACKEND`` environment variable) to select the compute backend.
@@ -56,6 +67,7 @@ Examples::
     python -m repro.cli bench --trials 10000 --configs 1000 --output BENCH_1.json
     python -m repro.cli bench-campaign --trials 10000 --output BENCH_5.json
     python -m repro.cli bench-grid --trials 10000 --output BENCH_8.json
+    python -m repro.cli bench-backends --workers 1 2 4 8 --output BENCH_10.json
 """
 
 from __future__ import annotations
@@ -84,10 +96,17 @@ from repro.analysis.grid_benchmark import (
     benchmark_grid,
     write_grid_snapshot,
 )
+from repro.analysis.backends_benchmark import (
+    DEFAULT_SPARSE_SIZE,
+    DEFAULT_WORKER_COUNTS,
+    benchmark_backend_suite,
+    write_backends_snapshot,
+)
 from repro.faults.scenarios import ECOSYSTEM_GENERATORS
 from repro.analysis.report import Table
 from repro.backend import (
     AUTO,
+    availability_errors,
     available_backends,
     get_backend,
     registered_backends,
@@ -586,6 +605,93 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the JSON perf snapshot here (e.g. BENCH_9.json)",
     )
+
+    bench_backends_parser = subparsers.add_parser(
+        "bench-backends",
+        help="race python/numpy/shm on the campaign workload across worker "
+        "counts, plus the column-pruned sparse campaign at sweep scale",
+    )
+    bench_backends_parser.add_argument("--trials", type=int, default=10_000)
+    bench_backends_parser.add_argument(
+        "--python-trials",
+        type=int,
+        default=1_000,
+        metavar="N",
+        help="trial count for the scalar python backend (0 skips it; "
+        "throughput comparisons use trials/sec, not wall time)",
+    )
+    bench_backends_parser.add_argument("--replicas", type=int, default=150)
+    bench_backends_parser.add_argument(
+        "--ecosystem",
+        choices=sorted(ECOSYSTEM_GENERATORS),
+        default="default",
+    )
+    bench_backends_parser.add_argument(
+        "--exploit-probability", type=float, default=0.6
+    )
+    bench_backends_parser.add_argument("--budget", type=int, default=4)
+    bench_backends_parser.add_argument("--seed", type=int, default=42)
+    bench_backends_parser.add_argument(
+        "--repeats", type=int, default=2, help="timed repeats (best counts)"
+    )
+    bench_backends_parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_WORKER_COUNTS),
+        metavar="N",
+        help="REPRO_SHM_WORKERS values swept for the shm backend "
+        "(default: 1 2 4 8)",
+    )
+    bench_backends_parser.add_argument(
+        "--sparse-size",
+        type=int,
+        default=DEFAULT_SPARSE_SIZE,
+        metavar="N",
+        help="replica count of the column-pruned sparse campaign "
+        "(default: 10^7; 0 skips the sparse phase)",
+    )
+    bench_backends_parser.add_argument("--sparse-trials", type=int, default=8)
+    bench_backends_parser.add_argument(
+        "--sparse-workers",
+        type=int,
+        default=4,
+        help="REPRO_SHM_WORKERS for the sparse phase",
+    )
+    bench_backends_parser.add_argument(
+        "--skip-unpruned",
+        action="store_true",
+        help="skip the unpruned sparse control run (and its exact "
+        "pruned == unpruned assertion)",
+    )
+    bench_backends_parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail (exit 1) unless shm over numpy reaches this throughput "
+        "ratio at --min-speedup-workers (the CI ≥2× gate)",
+    )
+    bench_backends_parser.add_argument(
+        "--min-speedup-workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker count the --min-speedup gate reads (default: 4)",
+    )
+    bench_backends_parser.add_argument(
+        "--memory-ceiling-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="fail (exit 1) if the sparse phase's peak RSS exceeds this",
+    )
+    bench_backends_parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the JSON perf snapshot here (e.g. BENCH_10.json)",
+    )
     return parser
 
 
@@ -746,9 +852,15 @@ def _command_entropy(entries: Sequence[str]) -> int:
 def _command_backends() -> int:
     active = get_backend()
     available = set(available_backends())
-    table = Table(headers=("backend", "available", "active"))
+    reasons = availability_errors()
+    table = Table(headers=("backend", "available", "active", "reason"))
     for name in registered_backends():
-        table.add_row(name, name in available, name == active.name)
+        table.add_row(
+            name,
+            name in available,
+            name == active.name,
+            reasons.get(name) or "-",
+        )
     print(table.render())
     return 0
 
@@ -1116,6 +1228,92 @@ def _command_bench_population(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_backends(arguments: argparse.Namespace) -> int:
+    report = benchmark_backend_suite(
+        trials=arguments.trials,
+        python_trials=arguments.python_trials,
+        replicas=arguments.replicas,
+        ecosystem=arguments.ecosystem,
+        exploit_probability=arguments.exploit_probability,
+        budget=arguments.budget,
+        seed=arguments.seed,
+        repeats=arguments.repeats,
+        worker_counts=tuple(arguments.workers),
+        sparse_size=arguments.sparse_size,
+        sparse_trials=arguments.sparse_trials,
+        sparse_workers=arguments.sparse_workers,
+        compare_unpruned=not arguments.skip_unpruned,
+        memory_ceiling_mb=arguments.memory_ceiling_mb,
+    )
+    print(
+        f"backend comparison: {report.trials} trials x {report.replicas} "
+        f"replicas ({report.vulnerabilities} vulnerabilities), "
+        f"budget {report.budget}, seed {report.seed}, "
+        f"{report.cpu_count} CPU core(s)"
+    )
+    table = Table(
+        headers=("configuration", "trials", "seconds", "trials/sec", "identical")
+    )
+    for timing in report.timings:
+        table.add_row(
+            timing.label,
+            timing.trials,
+            timing.seconds,
+            timing.trials_per_second,
+            timing.identical,
+        )
+    print(table.render())
+    for workers in report.worker_counts:
+        speedup = report.shm_speedup_over_numpy(workers)
+        if speedup is not None:
+            print(f"shm[w={workers}] over numpy: {speedup:.2f}x")
+    sparse = report.sparse
+    if sparse is not None:
+        print(
+            f"sparse sweep: {sparse.population_size} replicas "
+            f"({sparse.nnz} nnz), {sparse.trials} trials, "
+            f"{sparse.workers} workers, build {sparse.build_seconds:.1f}s, "
+            f"pruned {sparse.pruned_seconds:.2f}s"
+            + (
+                f", unpruned {sparse.unpruned_seconds:.2f}s "
+                f"(identical: {sparse.pruned_identical_to_unpruned}, "
+                f"prune speedup {sparse.prune_speedup():.2f}x)"
+                if sparse.unpruned_seconds is not None
+                else ""
+            )
+        )
+        print(f"sparse peak RSS: {sparse.peak_rss_kb} KiB")
+    if arguments.output:
+        write_backends_snapshot(report, arguments.output)
+        print(f"snapshot written to {arguments.output}")
+    failed = False
+    if arguments.min_speedup is not None:
+        speedup = report.shm_speedup_over_numpy(arguments.min_speedup_workers)
+        if speedup is None:
+            print(
+                f"error: no shm measurement at "
+                f"{arguments.min_speedup_workers} workers to gate on",
+                file=sys.stderr,
+            )
+            failed = True
+        elif speedup < arguments.min_speedup:
+            print(
+                f"error: shm over numpy at {arguments.min_speedup_workers} "
+                f"workers is {speedup:.2f}x, below the required "
+                f"{arguments.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
+    if report.within_memory_ceiling() is False:
+        print(
+            f"error: sparse peak RSS {report.sparse.peak_rss_kb} KiB "
+            f"exceeds the {report.memory_ceiling_kb} KiB ceiling",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -1148,6 +1346,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_bench_grid(arguments)
         if arguments.command == "bench-population":
             return _command_bench_population(arguments)
+        if arguments.command == "bench-backends":
+            return _command_bench_backends(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -1,0 +1,573 @@
+"""Tests for the shared-memory multiprocess backend.
+
+Everything here pins the shm backend's one non-negotiable contract: its
+results are byte-identical to the plain NumPy backend at every worker
+count, pruned or unpruned, pooled or inline.  ``REPRO_SHM_INLINE_CELLS=0``
+forces even these tiny workloads through the real process pool so the
+shared-memory publication, worker attach, and merge seams are exercised,
+not bypassed.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.backend import (
+    availability_errors,
+    available_backends,
+    get_backend,
+    registered_backends,
+)
+from repro.backend.base import (
+    CampaignGridPoint,
+    ComputeBackend,
+    ResolvedGridPoint,
+)
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.shm_backend import (
+    DEFAULT_INLINE_CELL_LIMIT,
+    INLINE_ENV_VAR,
+    PRUNE_ENV_VAR,
+    ShmBackend,
+    WORKERS_ENV_VAR,
+)
+from repro.backend.timing import KERNEL_TIMINGS
+from repro.core.exceptions import BackendError
+from repro.faults.scenarios import sparse_ecosystem_matrix
+
+pytestmark = pytest.mark.skipif(
+    not ShmBackend.is_available(), reason="shm backend unavailable here"
+)
+
+WORKER_COUNTS = (1, 2, 4)
+TRIALS = 67
+SEED = 13
+
+
+@pytest.fixture
+def pooled(monkeypatch):
+    """Force every kernel call through the worker pool."""
+    monkeypatch.setenv(INLINE_ENV_VAR, "0")
+    monkeypatch.delenv(PRUNE_ENV_VAR, raising=False)
+
+
+@pytest.fixture
+def dense_workload():
+    rng = np.random.default_rng(7)
+    replicas, vulnerabilities = 29, 8
+    exposure = (rng.random((replicas, vulnerabilities)) < 0.4).astype(float)
+    powers = tuple(1.0 for _ in range(replicas))
+    probabilities = tuple(
+        float(p) for p in rng.random(vulnerabilities) * 0.8 + 0.1
+    )
+    return exposure, powers, probabilities, float(sum(powers))
+
+
+@pytest.fixture(scope="module")
+def sparse_workload():
+    matrix, _catalog = sparse_ecosystem_matrix(
+        ecosystem="default",
+        population_size=400,
+        seed=3,
+        exploit_probability=0.45,
+    )
+    return matrix.sparse_exposure(), matrix.total_power
+
+
+class TestRegistration:
+    def test_shm_registers_behind_numpy(self):
+        names = registered_backends()
+        assert "shm" in names
+        assert names.index("numpy") < names.index("shm")
+        assert names.index("shm") < names.index("python")
+
+    def test_auto_detection_never_picks_shm(self, monkeypatch):
+        from repro.backend import BACKEND_ENV_VAR
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert get_backend().name != "shm"
+
+    def test_env_var_opts_in(self, monkeypatch):
+        from repro.backend import BACKEND_ENV_VAR
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "shm")
+        assert get_backend().name == "shm"
+
+    def test_shm_available_implies_numpy_available(self):
+        assert "numpy" in available_backends()
+
+
+class TestAvailabilityReasons:
+    def test_available_backends_report_no_error(self):
+        reasons = availability_errors()
+        assert set(reasons) == set(registered_backends())
+        for name in available_backends():
+            assert reasons[name] is None
+
+    def test_base_class_fallback_reason(self):
+        class Unavailable(ComputeBackend):
+            name = "unavailable-probe"
+
+            @classmethod
+            def is_available(cls):
+                return False
+
+        Unavailable.__abstractmethods__ = frozenset()
+        reason = Unavailable.availability_error()
+        assert reason is not None
+        assert "unavailable-probe" in reason
+
+    def test_shm_matches_is_available(self):
+        assert (ShmBackend.availability_error() is None) == (
+            ShmBackend.is_available()
+        )
+
+
+class TestConfiguration:
+    def test_invalid_worker_count_rejected(self, monkeypatch):
+        backend = get_backend("shm")
+        for bad in ("zero", "0", "-3"):
+            monkeypatch.setenv(WORKERS_ENV_VAR, bad)
+            with pytest.raises(BackendError):
+                backend._worker_count()
+
+    def test_default_worker_count_is_bounded(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        backend = get_backend("shm")
+        assert 1 <= backend._worker_count() <= 4
+
+    def test_invalid_inline_limit_rejected(self, monkeypatch):
+        monkeypatch.setenv(INLINE_ENV_VAR, "-1")
+        with pytest.raises(BackendError):
+            ShmBackend._inline_cell_limit()
+
+    def test_default_inline_limit(self, monkeypatch):
+        monkeypatch.delenv(INLINE_ENV_VAR, raising=False)
+        assert ShmBackend._inline_cell_limit() == DEFAULT_INLINE_CELL_LIMIT
+
+    def test_prune_toggle(self, monkeypatch):
+        monkeypatch.delenv(PRUNE_ENV_VAR, raising=False)
+        assert ShmBackend._prune_enabled()
+        for off in ("0", "false", "OFF", "no"):
+            monkeypatch.setenv(PRUNE_ENV_VAR, off)
+            assert not ShmBackend._prune_enabled()
+        monkeypatch.setenv(PRUNE_ENV_VAR, "1")
+        assert ShmBackend._prune_enabled()
+
+
+class TestDenseIdentity:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_campaign_trials_matches_numpy(
+        self, pooled, monkeypatch, dense_workload, workers
+    ):
+        monkeypatch.setenv(WORKERS_ENV_VAR, str(workers))
+        exposure, powers, probabilities, total_power = dense_workload
+        shm = get_backend("shm")
+        reference = NumpyBackend()
+        kwargs = dict(
+            trials=TRIALS,
+            seed=SEED,
+            tolerance=0.5,
+            total_power=total_power,
+        )
+        assert shm.campaign_trials(
+            exposure, powers, probabilities, **kwargs
+        ) == reference.campaign_trials(exposure, powers, probabilities, **kwargs)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_campaign_trials_with_offset_matches_numpy(
+        self, pooled, monkeypatch, dense_workload, workers
+    ):
+        monkeypatch.setenv(WORKERS_ENV_VAR, str(workers))
+        exposure, powers, probabilities, total_power = dense_workload
+        shm = get_backend("shm")
+        reference = NumpyBackend()
+        kwargs = dict(
+            trials=31,
+            seed=SEED,
+            tolerance=1.0 / 3.0,
+            total_power=total_power,
+            trial_offset=17,
+        )
+        assert shm.campaign_trials(
+            exposure, powers, probabilities, **kwargs
+        ) == reference.campaign_trials(exposure, powers, probabilities, **kwargs)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_campaign_grid_matches_numpy(
+        self, pooled, monkeypatch, dense_workload, workers
+    ):
+        monkeypatch.setenv(WORKERS_ENV_VAR, str(workers))
+        exposure, powers, probabilities, total_power = dense_workload
+        points = (
+            CampaignGridPoint(tolerances=(1.0 / 3.0, 0.5), budget=3),
+            CampaignGridPoint(tolerances=(0.25,), budget=5, seed_offset=7),
+            CampaignGridPoint(
+                tolerances=(0.5,), columns=(1, 4, 6), success_probability=0.7
+            ),
+        )
+        shm = get_backend("shm")
+        reference = NumpyBackend()
+        kwargs = dict(trials=TRIALS, seed=SEED, total_power=total_power)
+        assert shm.campaign_grid(
+            exposure, powers, probabilities, points, **kwargs
+        ) == reference.campaign_grid(
+            exposure, powers, probabilities, points, **kwargs
+        )
+
+
+class TestSparseIdentity:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("prune", ("1", "0"))
+    def test_sparse_grid_partials_matches_numpy(
+        self, pooled, monkeypatch, sparse_workload, workers, prune
+    ):
+        monkeypatch.setenv(WORKERS_ENV_VAR, str(workers))
+        monkeypatch.setenv(PRUNE_ENV_VAR, prune)
+        sparse, _total_power = sparse_workload
+        column_count = sparse.column_count
+        points = (
+            ResolvedGridPoint(
+                columns=tuple(range(0, column_count, 3)),
+                probabilities=tuple(0.5 for _ in range(0, column_count, 3)),
+                tolerances=(1.0 / 3.0, 0.5),
+                seed=17,
+            ),
+            ResolvedGridPoint(
+                columns=(1, 4),
+                probabilities=(0.7, 0.2),
+                tolerances=(0.25,),
+                seed=99,
+            ),
+        )
+        shm = get_backend("shm")
+        reference = NumpyBackend()
+        kwargs = dict(
+            trials=TRIALS,
+            trial_offset=5,
+            row_offset=0,
+            total_rows=sparse.replica_count,
+        )
+        assert shm.sparse_grid_partials(
+            sparse, points, **kwargs
+        ) == reference.sparse_grid_partials(sparse, points, **kwargs)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_sparse_campaign_trials_matches_numpy(
+        self, pooled, monkeypatch, sparse_workload, workers
+    ):
+        monkeypatch.setenv(WORKERS_ENV_VAR, str(workers))
+        sparse, total_power = sparse_workload
+        shm = get_backend("shm")
+        reference = NumpyBackend()
+        kwargs = dict(
+            trials=TRIALS, seed=SEED, tolerance=0.5, total_power=total_power
+        )
+        assert shm.sparse_campaign_trials(
+            sparse, **kwargs
+        ) == reference.sparse_campaign_trials(sparse, **kwargs)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_sparse_campaign_grid_matches_numpy(
+        self, pooled, monkeypatch, sparse_workload, workers
+    ):
+        monkeypatch.setenv(WORKERS_ENV_VAR, str(workers))
+        sparse, total_power = sparse_workload
+        points = (
+            CampaignGridPoint(tolerances=(1.0 / 3.0, 0.5), budget=4),
+            CampaignGridPoint(tolerances=(0.5,), budget=2, seed_offset=11),
+        )
+        shm = get_backend("shm")
+        reference = NumpyBackend()
+        kwargs = dict(trials=TRIALS, seed=SEED, total_power=total_power)
+        assert shm.sparse_campaign_grid(
+            sparse, points, **kwargs
+        ) == reference.sparse_campaign_grid(sparse, points, **kwargs)
+
+    def test_row_chunk_with_no_selected_cells_yields_exact_zeros(
+        self, pooled, monkeypatch, sparse_workload
+    ):
+        """The presummary chunk skip must equal the kernel's own zeros."""
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        sparse, _total_power = sparse_workload
+        # Restrict to a row slice, then select only columns absent there.
+        chunk = sparse.row_slice(0, 40)
+        present = set(int(c) for c in np.asarray(chunk.indices))
+        absent = tuple(
+            column
+            for column in range(sparse.column_count)
+            if column not in present
+        )
+        if not absent:
+            pytest.skip("every column appears in the first 40 rows")
+        points = (
+            ResolvedGridPoint(
+                columns=absent[:2],
+                probabilities=(0.9,) * len(absent[:2]),
+                tolerances=(0.5,),
+                seed=5,
+            ),
+        )
+        shm = get_backend("shm")
+        reference = NumpyBackend()
+        kwargs = dict(
+            trials=9,
+            trial_offset=0,
+            row_offset=0,
+            total_rows=sparse.replica_count,
+        )
+        result = shm.sparse_grid_partials(chunk, points, **kwargs)
+        assert result == reference.sparse_grid_partials(chunk, points, **kwargs)
+        assert all(v == 0.0 for v in result[0].per_trial_compromised)
+
+
+class TestPruningInternals:
+    def test_pruned_workload_drops_unselected_columns(
+        self, monkeypatch, sparse_workload
+    ):
+        monkeypatch.delenv(PRUNE_ENV_VAR, raising=False)
+        sparse, _total_power = sparse_workload
+        backend = get_backend("shm")
+        points = (
+            ResolvedGridPoint(
+                columns=(2, 5, 9),
+                probabilities=(0.5, 0.5, 0.5),
+                tolerances=(0.5,),
+                seed=0,
+            ),
+        )
+        pruned, remapped = backend._pruned_workload(sparse, points)
+        assert pruned.column_count == 3
+        assert pruned.nnz < sparse.nnz
+        assert remapped[0].columns == (0, 1, 2)
+        assert pruned.success_probabilities == tuple(
+            sparse.success_probabilities[c] for c in (2, 5, 9)
+        )
+        # Every kept cell keeps its within-row ascending order.
+        indptr = np.asarray(pruned.indptr)
+        indices = np.asarray(pruned.indices)
+        for row in range(pruned.replica_count):
+            segment = indices[indptr[row] : indptr[row + 1]]
+            assert list(segment) == sorted(segment)
+
+    def test_pruning_disabled_returns_inputs(self, monkeypatch, sparse_workload):
+        monkeypatch.setenv(PRUNE_ENV_VAR, "0")
+        sparse, _total_power = sparse_workload
+        backend = get_backend("shm")
+        points = (
+            ResolvedGridPoint(
+                columns=(2,), probabilities=(0.5,), tolerances=(0.5,), seed=0
+            ),
+        )
+        assert backend._pruned_workload(sparse, points) == (sparse, points)
+
+    def test_full_column_selection_is_not_pruned(
+        self, monkeypatch, sparse_workload
+    ):
+        monkeypatch.delenv(PRUNE_ENV_VAR, raising=False)
+        sparse, _total_power = sparse_workload
+        backend = get_backend("shm")
+        columns = tuple(range(sparse.column_count))
+        points = (
+            ResolvedGridPoint(
+                columns=columns,
+                probabilities=(0.5,) * len(columns),
+                tolerances=(0.5,),
+                seed=0,
+            ),
+        )
+        pruned, remapped = backend._pruned_workload(sparse, points)
+        assert pruned is sparse
+        assert remapped is points
+
+
+class TestPoolLifecycle:
+    def test_pool_recycles_when_worker_count_changes(
+        self, pooled, monkeypatch, dense_workload
+    ):
+        exposure, powers, probabilities, total_power = dense_workload
+        shm = get_backend("shm")
+        kwargs = dict(
+            trials=16, seed=1, tolerance=0.5, total_power=total_power
+        )
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        shm.campaign_trials(exposure, powers, probabilities, **kwargs)
+        assert shm._pool_workers == 2
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        shm.campaign_trials(exposure, powers, probabilities, **kwargs)
+        assert shm._pool_workers == 3
+
+    def test_close_releases_pool_and_segments(
+        self, pooled, monkeypatch, dense_workload
+    ):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        exposure, powers, probabilities, total_power = dense_workload
+        shm = get_backend("shm")
+        shm.campaign_trials(
+            exposure,
+            powers,
+            probabilities,
+            trials=16,
+            seed=1,
+            tolerance=0.5,
+            total_power=total_power,
+        )
+        assert shm._published
+        shm.close()
+        assert shm._pool is None
+        assert not shm._published
+        # The backend must keep working after close (fresh pool, republish).
+        result = shm.campaign_trials(
+            exposure,
+            powers,
+            probabilities,
+            trials=16,
+            seed=1,
+            tolerance=0.5,
+            total_power=total_power,
+        )
+        assert result == NumpyBackend().campaign_trials(
+            exposure,
+            powers,
+            probabilities,
+            trials=16,
+            seed=1,
+            tolerance=0.5,
+            total_power=total_power,
+        )
+
+    def test_publication_is_cached_per_object(
+        self, pooled, monkeypatch, dense_workload
+    ):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        exposure, powers, probabilities, total_power = dense_workload
+        shm = get_backend("shm")
+        kwargs = dict(trials=16, seed=1, tolerance=0.5, total_power=total_power)
+        shm.campaign_trials(exposure, powers, probabilities, **kwargs)
+        segments = {handle.segment.name for _, handle in shm._published.values()}
+        shm.campaign_trials(exposure, powers, probabilities, **kwargs)
+        assert {
+            handle.segment.name for _, handle in shm._published.values()
+        } == segments
+
+
+def _campaign_inside_pool_worker(exposure, powers, probabilities, total_power):
+    """Run a shm-backed campaign from inside a multiprocessing child.
+
+    Module-level so the outer pool can pickle it by reference.  Returns the
+    dispatch decision alongside the result so the parent can assert the
+    child degraded to inline instead of building a nested pool (which a
+    pool worker can never shut down — its exit skips ``atexit``).
+    """
+    import multiprocessing
+
+    backend = get_backend("shm")
+    dispatch = backend._dispatch_workers(1 << 30)
+    result = backend.campaign_trials(
+        exposure,
+        powers,
+        probabilities,
+        trials=24,
+        seed=5,
+        tolerance=0.5,
+        total_power=total_power,
+    )
+    return (
+        multiprocessing.parent_process() is not None,
+        dispatch,
+        result,
+    )
+
+
+class TestForkSafety:
+    def test_pool_worker_degrades_to_inline_and_matches(
+        self, pooled, monkeypatch, dense_workload
+    ):
+        """A forked engine shard must neither hang nor fork grandchildren.
+
+        The parent primes a live pool first — the historical deadlock shape:
+        a child inheriting an active ShmBackend, whose executor corpse it
+        must drop, and whose nested-pool temptation it must refuse.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        exposure, powers, probabilities, total_power = dense_workload
+        shm = get_backend("shm")
+        kwargs = dict(trials=24, seed=5, tolerance=0.5, total_power=total_power)
+        shm.campaign_trials(exposure, powers, probabilities, **kwargs)
+        assert shm._pool is not None
+
+        with ProcessPoolExecutor(max_workers=2) as outer:
+            futures = [
+                outer.submit(
+                    _campaign_inside_pool_worker,
+                    exposure,
+                    powers,
+                    probabilities,
+                    total_power,
+                )
+                for _ in range(2)
+            ]
+            # result(timeout=...) turns a reintroduced deadlock into a
+            # test failure instead of a hung suite.
+            payloads = [future.result(timeout=120) for future in futures]
+
+        expected = NumpyBackend().campaign_trials(
+            exposure, powers, probabilities, **kwargs
+        )
+        for in_child, dispatch, result in payloads:
+            assert in_child is True
+            assert dispatch == 1
+            assert result == expected
+
+    def test_dispatch_stays_pooled_in_the_parent(self, pooled, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        shm = get_backend("shm")
+        assert shm._dispatch_workers(1 << 30) == 2
+
+
+class TestDelegationAndTiming:
+    def test_non_hot_primitives_delegate_to_numpy(self):
+        shm = get_backend("shm")
+        reference = NumpyBackend()
+        shares = (0.4, 0.3, 0.2, 0.1)
+        assert shm.shannon_entropy(shares) == reference.shannon_entropy(shares)
+        assert shm.weighted_bincount(
+            ("a", "b", "a"), (1.0, 2.0, 3.0)
+        ) == reference.weighted_bincount(("a", "b", "a"), (1.0, 2.0, 3.0))
+        kwargs = dict(
+            vulnerability_probability=0.5,
+            exploit_budget=1,
+            trials=50,
+            seed=3,
+            tolerance=1.0 / 3.0,
+        )
+        assert shm.violation_trials(shares, **kwargs) == reference.violation_trials(
+            shares, **kwargs
+        )
+
+    def test_sparse_presummary_is_cached(self, sparse_workload):
+        sparse, _total_power = sparse_workload
+        shm = get_backend("shm")
+        first = shm.sparse_masked_power_sums(sparse)
+        assert shm.sparse_masked_power_sums(sparse) is first
+        assert first == NumpyBackend().sparse_masked_power_sums(sparse)
+
+    def test_kernel_timings_record_shm_dispatch(
+        self, pooled, monkeypatch, dense_workload
+    ):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "2")
+        exposure, powers, probabilities, total_power = dense_workload
+        before = KERNEL_TIMINGS.snapshot()
+        get_backend("shm").campaign_trials(
+            exposure,
+            powers,
+            probabilities,
+            trials=16,
+            seed=1,
+            tolerance=0.5,
+            total_power=total_power,
+        )
+        delta = KERNEL_TIMINGS.delta_since(before)
+        assert "shm_campaign_trials" in delta

@@ -504,3 +504,102 @@ class TestBenchPopulationCommand:
     def test_bench_population_rejects_bad_workload(self, capsys):
         assert main(["bench-population", "--trials", "0"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestBenchBackendsCommand:
+    SMALL = [
+        "bench-backends",
+        "--trials", "200",
+        "--python-trials", "60",
+        "--replicas", "24",
+        "--seed", "5",
+        "--repeats", "1",
+        "--workers", "1", "2",
+        "--sparse-size", "3000",
+        "--sparse-trials", "6",
+        "--sparse-workers", "2",
+    ]
+
+    def test_bench_backends_prints_table_and_speedups(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(list(self.SMALL)) == 0
+        output = capsys.readouterr().out
+        assert "backend comparison:" in output
+        assert "numpy" in output
+        assert "shm[w=2]" in output
+        assert "over numpy:" in output
+        assert "sparse sweep:" in output
+        assert "identical: True" in output
+
+    def test_bench_backends_writes_snapshot(self, tmp_path, capsys):
+        pytest.importorskip("numpy")
+        snapshot = tmp_path / "BENCH_10_TEST.json"
+        assert main(list(self.SMALL) + ["--output", str(snapshot)]) == 0
+        capsys.readouterr()
+        document = json.loads(snapshot.read_text())
+        assert document["benchmark"] == "backend_comparison"
+        assert document["results"]["shm[w=1]"]["identical"] is True
+        assert document["sparse_sweep"]["pruned_identical_to_unpruned"] is True
+
+    def test_bench_backends_enforces_the_memory_ceiling(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(list(self.SMALL) + ["--memory-ceiling-mb", "1"]) == 1
+        assert "exceeds" in capsys.readouterr().err
+
+    def test_bench_backends_enforces_min_speedup(self, capsys):
+        pytest.importorskip("numpy")
+        # An absurd bar fails deterministically regardless of host speed.
+        arguments = list(self.SMALL) + [
+            "--min-speedup", "1000000",
+            "--min-speedup-workers", "2",
+        ]
+        assert main(arguments) == 1
+        assert "below the required" in capsys.readouterr().err
+
+    def test_bench_backends_min_speedup_needs_a_measurement(self, capsys):
+        pytest.importorskip("numpy")
+        arguments = list(self.SMALL) + [
+            "--min-speedup", "1.0",
+            "--min-speedup-workers", "64",
+        ]
+        assert main(arguments) == 1
+        assert "no shm measurement" in capsys.readouterr().err
+
+    def test_bench_backends_rejects_bad_workload(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(["bench-backends", "--trials", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBackendsReasonColumn:
+    def test_backends_table_has_reason_column(self, capsys):
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        assert "reason" in output.splitlines()[0]
+
+    def test_unavailable_backend_shows_its_reason(self, capsys, monkeypatch):
+        from repro.backend import selection
+        from repro.backend.base import ComputeBackend
+
+        class Broken(ComputeBackend):
+            name = "broken"
+
+            @classmethod
+            def is_available(cls):
+                return False
+
+            @classmethod
+            def availability_error(cls):
+                return "probe exploded: no such device"
+
+        Broken.__abstractmethods__ = frozenset()
+        monkeypatch.setattr(
+            selection, "_REGISTRY", selection._REGISTRY + (Broken,)
+        )
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        broken_row = next(
+            line for line in output.splitlines() if line.startswith("broken")
+        )
+        assert "no" in broken_row
+        assert "probe exploded: no such device" in broken_row
